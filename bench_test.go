@@ -1,0 +1,122 @@
+package wivi
+
+// The benchmark harness: one testing.B benchmark per table and figure of
+// the paper's evaluation (plus the DESIGN.md ablations), each running the
+// corresponding experiment from internal/eval and failing if the shape
+// criterion breaks. Quick-scale options keep `go test -bench=.`
+// tractable; `cmd/wivi-bench` runs the same experiments at full paper
+// scale and generates EXPERIMENTS.md.
+
+import (
+	"testing"
+
+	"wivi/internal/eval"
+)
+
+// benchOpts is the reduced scale used inside benchmarks.
+var benchOpts = eval.Options{Quick: true, Seed: 1}
+
+func runExperiment(b *testing.B, f func(eval.Options) *eval.Report) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		r := f(benchOpts)
+		if r.Err != nil {
+			b.Fatalf("%s: %v", r.ID, r.Err)
+		}
+		if !r.Pass {
+			b.Fatalf("%s shape mismatch:\n%s", r.ID, r)
+		}
+	}
+}
+
+// BenchmarkTable41Attenuation regenerates Table 4.1 (one-way attenuation
+// per building material).
+func BenchmarkTable41Attenuation(b *testing.B) { runExperiment(b, eval.Table41) }
+
+// BenchmarkLemma411Convergence verifies the iterative-nulling
+// convergence lemma across error magnitudes.
+func BenchmarkLemma411Convergence(b *testing.B) { runExperiment(b, eval.Lemma411) }
+
+// BenchmarkFig52SingleHuman regenerates Fig. 5-2 (single-person track).
+func BenchmarkFig52SingleHuman(b *testing.B) { runExperiment(b, eval.Fig52) }
+
+// BenchmarkFig53TwoHumans regenerates Fig. 5-3 (two humans, two lines).
+func BenchmarkFig53TwoHumans(b *testing.B) { runExperiment(b, eval.Fig53) }
+
+// BenchmarkFig61GestureImage regenerates Fig. 6-1/6-2 (gestures as
+// triangles; slant shrinks the angle).
+func BenchmarkFig61GestureImage(b *testing.B) { runExperiment(b, eval.Fig61) }
+
+// BenchmarkFig63GestureDecoding regenerates Fig. 6-3 (matched filter +
+// peak detector decode the Fig. 6-1 message).
+func BenchmarkFig63GestureDecoding(b *testing.B) { runExperiment(b, eval.Fig63) }
+
+// BenchmarkFig72Tracking regenerates Fig. 7-2 (1/2/3-human traces).
+func BenchmarkFig72Tracking(b *testing.B) { runExperiment(b, eval.Fig72) }
+
+// BenchmarkFig73SpatialVarianceCDF regenerates Fig. 7-3 (spatial
+// variance CDFs per human count).
+func BenchmarkFig73SpatialVarianceCDF(b *testing.B) { runExperiment(b, eval.Fig73) }
+
+// BenchmarkTable71Counting regenerates Table 7.1 (counting confusion
+// matrix, cross-validated across rooms). At benchmark scale the shape
+// criterion is relaxed inside eval.Table71's quick mode.
+func BenchmarkTable71Counting(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := eval.Table71(benchOpts)
+		if r.Err != nil {
+			b.Fatalf("%s: %v", r.ID, r.Err)
+		}
+	}
+}
+
+// BenchmarkFig74GestureVsDistance regenerates Fig. 7-4 (gesture accuracy
+// vs distance with the 3 dB gate cutoff).
+func BenchmarkFig74GestureVsDistance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := eval.Fig74(benchOpts)
+		if r.Err != nil {
+			b.Fatalf("%s: %v", r.ID, r.Err)
+		}
+	}
+}
+
+// BenchmarkFig75GestureSNRCDF regenerates Fig. 7-5 (SNR CDFs per bit).
+func BenchmarkFig75GestureSNRCDF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := eval.Fig75(benchOpts)
+		if r.Err != nil {
+			b.Fatalf("%s: %v", r.ID, r.Err)
+		}
+	}
+}
+
+// BenchmarkFig76Materials regenerates Fig. 7-6 (accuracy and SNR per
+// building material).
+func BenchmarkFig76Materials(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := eval.Fig76(benchOpts)
+		if r.Err != nil {
+			b.Fatalf("%s: %v", r.ID, r.Err)
+		}
+	}
+}
+
+// BenchmarkFig77NullingCDF regenerates Fig. 7-7 (achieved-nulling CDF).
+func BenchmarkFig77NullingCDF(b *testing.B) { runExperiment(b, eval.Fig77) }
+
+// BenchmarkAblationNulling runs ablation A1 (Doppler-only baseline vs
+// nulling behind walls).
+func BenchmarkAblationNulling(b *testing.B) { runExperiment(b, eval.AblationNulling) }
+
+// BenchmarkAblationUWBBandwidth runs ablation A2 (UWB time-gating
+// bandwidth crossover).
+func BenchmarkAblationUWBBandwidth(b *testing.B) { runExperiment(b, eval.AblationUWBBandwidth) }
+
+// BenchmarkAblationSmoothing runs ablation A3 (smoothed MUSIC vs plain
+// beamforming on coherent movers).
+func BenchmarkAblationSmoothing(b *testing.B) { runExperiment(b, eval.AblationSmoothing) }
+
+// BenchmarkAblationISARAperture runs ablation A4 (angular resolution vs
+// movement length; ~4 wavelengths for a narrow beam).
+func BenchmarkAblationISARAperture(b *testing.B) { runExperiment(b, eval.AblationISARAperture) }

@@ -1,0 +1,56 @@
+// Command wivi-bench regenerates every table and figure of the paper's
+// evaluation (§7) plus the DESIGN.md ablations, printing each experiment's
+// paper claim, the measured rows/series, and a shape verdict. Its output
+// is the source for EXPERIMENTS.md.
+//
+//	wivi-bench            # full paper-scale run (minutes)
+//	wivi-bench -quick     # reduced trial counts (tens of seconds)
+//	wivi-bench -run F7.4  # a single experiment by ID
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"wivi/internal/eval"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("wivi-bench: ")
+
+	var (
+		quick = flag.Bool("quick", false, "reduced trial counts")
+		run   = flag.String("run", "", "run only the experiment with this ID (e.g. F7.4)")
+		seed  = flag.Int64("seed", 1, "base seed")
+	)
+	flag.Parse()
+
+	opts := eval.Options{Quick: *quick, Seed: *seed}
+	start := time.Now()
+	failures, ran := 0, 0
+	for _, e := range eval.Experiments() {
+		if *run != "" && !strings.EqualFold(e.ID, *run) {
+			continue
+		}
+		r := e.Run(opts)
+		ran++
+		fmt.Println(r)
+		if !r.Pass {
+			failures++
+		}
+	}
+	scale := "full"
+	if *quick {
+		scale = "quick"
+	}
+	fmt.Printf("ran %d experiments (%s scale, seed %d) in %.1fs; %d shape mismatches\n",
+		ran, scale, *seed, time.Since(start).Seconds(), failures)
+	if failures > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,66 @@
+package wivi_test
+
+import (
+	"fmt"
+	"log"
+
+	"wivi"
+)
+
+// ExampleMaterial_OneWayAttenuationDB prints the Table 4.1 attenuations.
+func ExampleMaterial_OneWayAttenuationDB() {
+	for _, m := range []wivi.Material{
+		wivi.TintedGlass, wivi.SolidWoodDoor, wivi.HollowWall,
+		wivi.Concrete18, wivi.ReinforcedConcrete,
+	} {
+		fmt.Printf("%s: %.0f dB\n", m, m.OneWayAttenuationDB())
+	}
+	// Output:
+	// Tinted Glass: 3 dB
+	// 1.75" Solid Wood Door: 6 dB
+	// 6" Hollow Wall: 9 dB
+	// Concrete Wall 18": 18 dB
+	// Reinforced Concrete: 40 dB
+}
+
+// Example_tracking shows the minimal track-through-a-wall workflow.
+// (No golden output: the heatmap depends on the calibration.)
+func Example_tracking() {
+	scene := wivi.NewScene(wivi.SceneOptions{Seed: 42})
+	if err := scene.AddWalker(6); err != nil {
+		log.Fatal(err)
+	}
+	dev, err := wivi.NewDevice(scene, wivi.DeviceOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := dev.Track(4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	_ = res.Heatmap(72, 21)
+	fmt.Println(res.NumFrames() > 0)
+	// Output: true
+}
+
+// Example_gestureMessage shows the through-wall messaging workflow.
+func Example_gestureMessage() {
+	scene := wivi.NewScene(wivi.SceneOptions{Seed: 21, RoomWidth: 11, RoomDepth: 8})
+	duration, err := scene.AddGestureSender(wivi.GestureMessage{
+		Bits:     []wivi.Bit{wivi.Bit0, wivi.Bit1},
+		Distance: 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	dev, err := wivi.NewDevice(scene, wivi.DeviceOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	msg, err := dev.DecodeMessage(duration)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(msg)
+	// Output: 01
+}

@@ -1,0 +1,224 @@
+// Package baseline implements the comparator systems the paper positions
+// Wi-Vi against (§2.1):
+//
+//   - UWBRadar models the state-of-the-art ultra-wideband through-wall
+//     radars [13, 28, 42]: they separate the wall flash from returns
+//     behind the wall in the *time* domain, which requires sub-nanosecond
+//     resolution and hence multi-GHz bandwidth. The model exposes the
+//     bandwidth-versus-separability trade-off (ablation A2).
+//
+//   - Doppler is the narrowband no-nulling approach [30, 31]: detect the
+//     Doppler spread of moving targets while the flash is still present.
+//     The flash consumes the receiver's dynamic range, so detection fails
+//     behind dense walls — Wi-Vi's motivation for nulling (ablation A1).
+package baseline
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"wivi/internal/dsp"
+	"wivi/internal/rf"
+)
+
+// UWBRadar models an ultra-wideband pulse radar: a transmitted pulse of
+// bandwidth B yields range resolution c/2B, and returns closer together
+// than that leak into each other's range bins following the pulse's
+// sinc^2 envelope.
+type UWBRadar struct {
+	// BandwidthHz is the pulse bandwidth (state-of-the-art systems use
+	// ~2 GHz, §1).
+	BandwidthHz float64
+}
+
+// RangeResolution returns the two-way range resolution c/(2B) in meters.
+func (u UWBRadar) RangeResolution() (float64, error) {
+	if u.BandwidthHz <= 0 {
+		return 0, errors.New("baseline: UWB bandwidth must be positive")
+	}
+	return rf.C / (2 * u.BandwidthHz), nil
+}
+
+// hannFirstSidelobeDB and hannRolloffDBPerDecade describe the sidelobe
+// envelope of Hann-weighted pulse compression, the standard choice in
+// through-wall UWB systems (the paper's comparators filter the wall
+// return in the analog domain, §1 fn. 1).
+const (
+	hannFirstSidelobeDB    = 31.5
+	hannRolloffDBPerDecade = 30
+)
+
+// FlashLeakageDB returns how much of the flash's power leaks into a
+// range bin sepMeters away (dB, <= 0), following the windowed-compression
+// sidelobe envelope. At separations below one resolution cell the leakage
+// is ~0 dB (the returns are inseparable).
+func (u UWBRadar) FlashLeakageDB(sepMeters float64) (float64, error) {
+	res, err := u.RangeResolution()
+	if err != nil {
+		return 0, err
+	}
+	if sepMeters < 0 {
+		return 0, fmt.Errorf("baseline: negative separation %v", sepMeters)
+	}
+	x := sepMeters / res
+	if x <= 1 {
+		return 0, nil
+	}
+	return -(hannFirstSidelobeDB + hannRolloffDBPerDecade*math.Log10(x)), nil
+}
+
+// SeparationSNRdB returns the human-return to flash-leakage power ratio
+// after range gating, for a human sepMeters behind the wall whose direct
+// return is flashToHumanDB below the flash.
+func (u UWBRadar) SeparationSNRdB(sepMeters, flashToHumanDB float64) (float64, error) {
+	leak, err := u.FlashLeakageDB(sepMeters)
+	if err != nil {
+		return 0, err
+	}
+	return -flashToHumanDB - leak, nil
+}
+
+// Detects reports whether the radar separates a human sepMeters behind
+// the wall from the flash with at least marginDB of post-gating SNR.
+func (u UWBRadar) Detects(sepMeters, flashToHumanDB, marginDB float64) (bool, error) {
+	snr, err := u.SeparationSNRdB(sepMeters, flashToHumanDB)
+	if err != nil {
+		return false, err
+	}
+	return snr >= marginDB, nil
+}
+
+// MinBandwidthHz returns the smallest pulse bandwidth that separates a
+// human sepMeters behind the wall from a flash flashToHumanDB stronger,
+// with marginDB to spare. This is the quantity that motivates Wi-Vi: for
+// typical indoor numbers it lands in the GHz range (§1: "they need to
+// identify sub-nanosecond delays (i.e., multi-GHz bandwidth)").
+func MinBandwidthHz(sepMeters, flashToHumanDB, marginDB float64) (float64, error) {
+	if sepMeters <= 0 {
+		return 0, fmt.Errorf("baseline: separation must be positive, got %v", sepMeters)
+	}
+	// Invert the sidelobe envelope: need leakage <= -(flash+margin), i.e.
+	// firstSidelobe + rolloff*log10(x) >= flash+margin, with
+	// x = sep / (c/2B)  =>  B = x c / (2 sep).
+	x := math.Pow(10, (flashToHumanDB+marginDB-hannFirstSidelobeDB)/hannRolloffDBPerDecade)
+	if x < 1 {
+		x = 1
+	}
+	return x * rf.C / (2 * sepMeters), nil
+}
+
+// DopplerResult reports the narrowband no-nulling detector's outcome.
+type DopplerResult struct {
+	// Detected reports whether motion-band energy exceeded the noise
+	// floor by the detection margin.
+	Detected bool
+	// SNRdB is the ratio of peak motion-band power to the noise floor.
+	SNRdB float64
+	// PeakHz is the Doppler frequency of the strongest motion component.
+	PeakHz float64
+}
+
+// DopplerConfig parameterizes the detector.
+type DopplerConfig struct {
+	// SampleT is the slow-time sampling period in seconds.
+	SampleT float64
+	// MinHz/MaxHz bound the human-motion Doppler band. At 2.4 GHz a
+	// 1 m/s walker produces ~16 Hz of Doppler (2v/lambda).
+	MinHz, MaxHz float64
+	// MarginDB is the detection threshold over the noise floor.
+	MarginDB float64
+}
+
+// DefaultDopplerConfig returns the detector tuned for walking humans at
+// the Wi-Vi sample rate.
+func DefaultDopplerConfig(sampleT float64) DopplerConfig {
+	return DopplerConfig{SampleT: sampleT, MinHz: 2, MaxHz: 60, MarginDB: 10}
+}
+
+// Doppler runs the no-nulling narrowband detector over a slow-time
+// channel series (e.g. sim.Device.CaptureRaw output, subcarrier-combined):
+// remove the static mean (the flash), Fourier transform the slow-time
+// series, and look for energy in the human Doppler band above the
+// out-of-band noise floor.
+func Doppler(series []complex128, cfg DopplerConfig) (*DopplerResult, error) {
+	if len(series) < 16 {
+		return nil, fmt.Errorf("baseline: doppler needs >= 16 samples, got %d", len(series))
+	}
+	if cfg.SampleT <= 0 {
+		return nil, errors.New("baseline: SampleT must be positive")
+	}
+	// Remove the static component (DC = flash + static clutter).
+	data := make([]complex128, len(series))
+	var mean complex128
+	for _, v := range series {
+		mean += v
+	}
+	mean /= complex(float64(len(series)), 0)
+	for i, v := range series {
+		data[i] = v - mean
+	}
+	spec := dsp.PowerSpectrum(data)
+	n := len(spec)
+	fs := 1 / cfg.SampleT
+	hz := func(bin int) float64 {
+		// Two-sided spectrum: map to [-fs/2, fs/2).
+		f := float64(bin) * fs / float64(n)
+		if f >= fs/2 {
+			f -= fs
+		}
+		return math.Abs(f)
+	}
+	var peak, noise float64
+	var peakHz float64
+	noiseCount := 0
+	for bin, p := range spec {
+		f := hz(bin)
+		switch {
+		case f >= cfg.MinHz && f <= cfg.MaxHz:
+			if p > peak {
+				peak = p
+				peakHz = f
+			}
+		case f > cfg.MaxHz*1.5:
+			noise += p
+			noiseCount++
+		}
+	}
+	if noiseCount == 0 {
+		return nil, errors.New("baseline: no out-of-band bins for the noise floor")
+	}
+	noiseFloor := noise / float64(noiseCount)
+	if noiseFloor <= 0 {
+		noiseFloor = 1e-300
+	}
+	snr := 10 * math.Log10(peak/noiseFloor)
+	return &DopplerResult{
+		Detected: snr >= cfg.MarginDB,
+		SNRdB:    snr,
+		PeakHz:   peakHz,
+	}, nil
+}
+
+// CombineSubs averages per-subcarrier captures into a single slow-time
+// stream (plain mean; adequate for the baseline detector).
+func CombineSubs(perSub [][]complex128) ([]complex128, error) {
+	if len(perSub) == 0 || len(perSub[0]) == 0 {
+		return nil, errors.New("baseline: empty capture")
+	}
+	n := len(perSub[0])
+	out := make([]complex128, n)
+	for _, sub := range perSub {
+		if len(sub) != n {
+			return nil, errors.New("baseline: ragged capture")
+		}
+		for i, v := range sub {
+			out[i] += v
+		}
+	}
+	inv := complex(1/float64(len(perSub)), 0)
+	for i := range out {
+		out[i] *= inv
+	}
+	return out, nil
+}

@@ -1,0 +1,177 @@
+package baseline
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"wivi/internal/rng"
+)
+
+func TestUWBRangeResolution(t *testing.T) {
+	u := UWBRadar{BandwidthHz: 2e9}
+	res, err := u.RangeResolution()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 GHz -> 7.5 cm.
+	if math.Abs(res-0.075) > 1e-3 {
+		t.Fatalf("resolution = %v m", res)
+	}
+	if _, err := (UWBRadar{}).RangeResolution(); err == nil {
+		t.Fatal("zero bandwidth accepted")
+	}
+}
+
+func TestUWBLeakageMonotone(t *testing.T) {
+	u := UWBRadar{BandwidthHz: 2e9}
+	prev := 1.0
+	for _, sep := range []float64{0.05, 0.2, 1, 3, 8} {
+		leak, err := u.FlashLeakageDB(sep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if leak > 0 {
+			t.Fatalf("leakage %v dB positive", leak)
+		}
+		if leak > prev+1e-12 && sep > 0.075 {
+			t.Fatalf("leakage not decreasing at %v m", sep)
+		}
+		prev = leak
+	}
+	// Below one resolution cell: inseparable (0 dB).
+	leak, _ := u.FlashLeakageDB(0.01)
+	if leak != 0 {
+		t.Fatalf("sub-resolution leakage = %v", leak)
+	}
+	if _, err := u.FlashLeakageDB(-1); err == nil {
+		t.Fatal("negative separation accepted")
+	}
+}
+
+// TestUWBBandwidthCrossover reproduces ablation A2: with the paper's
+// numbers (flash 40-50 dB above the human return), narrowband systems
+// cannot time-gate the flash while multi-GHz systems can.
+func TestUWBBandwidthCrossover(t *testing.T) {
+	// A human close behind the wall is the hard case for time-gating:
+	// only half a meter of range separation against a 45 dB flash.
+	const sep = 0.5           // human 0.5 m behind the wall
+	const flashToHuman = 45.0 // dB
+	const margin = 3.0        // dB
+
+	narrow := UWBRadar{BandwidthHz: 20e6} // Wi-Fi-class bandwidth
+	ok, err := narrow.Detects(sep, flashToHuman, margin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("20 MHz radar should not separate the flash by time-gating")
+	}
+	wide := UWBRadar{BandwidthHz: 2e9}
+	ok, err = wide.Detects(sep, flashToHuman, margin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("2 GHz radar should separate the flash")
+	}
+	minBW, err := MinBandwidthHz(sep, flashToHuman, margin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's core argument: separating the flash for near-wall
+	// humans needs GHz-class bandwidth (§1).
+	if minBW < 0.3e9 || minBW > 10e9 {
+		t.Fatalf("crossover bandwidth %v Hz outside GHz class", minBW)
+	}
+	// The crossover must be consistent with Detects.
+	below := UWBRadar{BandwidthHz: minBW * 0.5}
+	if ok, _ := below.Detects(sep, flashToHuman, margin); ok {
+		t.Fatal("below-crossover bandwidth detects")
+	}
+	above := UWBRadar{BandwidthHz: minBW * 2}
+	if ok, _ := above.Detects(sep, flashToHuman, margin); !ok {
+		t.Fatal("above-crossover bandwidth fails")
+	}
+	if _, err := MinBandwidthHz(0, 40, 3); err == nil {
+		t.Fatal("zero separation accepted")
+	}
+}
+
+// synthDopplerSeries builds a slow-time series: strong static flash +
+// weak moving target at the given Doppler + noise.
+func synthDopplerSeries(n int, sampleT, dopplerHz, targetAmp, flashAmp, noise float64, seed int64) []complex128 {
+	s := rng.New(seed)
+	out := make([]complex128, n)
+	for i := range out {
+		t := float64(i) * sampleT
+		out[i] = complex(flashAmp, 0) +
+			cmplx.Rect(targetAmp, 2*math.Pi*dopplerHz*t) +
+			s.ComplexGaussian(noise)
+	}
+	return out
+}
+
+func TestDopplerDetectsStrongTarget(t *testing.T) {
+	const sampleT = 0.0032
+	series := synthDopplerSeries(1024, sampleT, 16, 0.1, 1.0, 1e-6, 1)
+	res, err := Doppler(series, DefaultDopplerConfig(sampleT))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Detected {
+		t.Fatalf("strong target not detected (SNR %v dB)", res.SNRdB)
+	}
+	if math.Abs(res.PeakHz-16) > 1.5 {
+		t.Fatalf("Doppler peak at %v Hz, want ~16", res.PeakHz)
+	}
+}
+
+func TestDopplerMissesQuantizedTarget(t *testing.T) {
+	// The flash-limited regime: the moving target is below the effective
+	// quantization/noise floor left after the flash fills the ADC.
+	const sampleT = 0.0032
+	series := synthDopplerSeries(1024, sampleT, 16, 1e-6, 1.0, 1e-8, 2)
+	// Quantize to 12 bits around the flash amplitude.
+	lsb := 2.0 / 4096
+	for i, v := range series {
+		series[i] = complex(math.Round(real(v)/lsb)*lsb, math.Round(imag(v)/lsb)*lsb)
+	}
+	res, err := Doppler(series, DefaultDopplerConfig(sampleT))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Detected {
+		t.Fatalf("sub-LSB target detected (SNR %v dB)", res.SNRdB)
+	}
+}
+
+func TestDopplerValidation(t *testing.T) {
+	cfg := DefaultDopplerConfig(0.0032)
+	if _, err := Doppler(make([]complex128, 4), cfg); err == nil {
+		t.Fatal("short series accepted")
+	}
+	bad := cfg
+	bad.SampleT = 0
+	if _, err := Doppler(make([]complex128, 64), bad); err == nil {
+		t.Fatal("zero SampleT accepted")
+	}
+}
+
+func TestCombineSubs(t *testing.T) {
+	a := []complex128{2, 4}
+	b := []complex128{0, 0}
+	got, err := CombineSubs([][]complex128{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 1 || got[1] != 2 {
+		t.Fatalf("CombineSubs = %v", got)
+	}
+	if _, err := CombineSubs(nil); err == nil {
+		t.Fatal("empty accepted")
+	}
+	if _, err := CombineSubs([][]complex128{{1}, {1, 2}}); err == nil {
+		t.Fatal("ragged accepted")
+	}
+}

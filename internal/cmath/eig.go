@@ -1,0 +1,189 @@
+package cmath
+
+import (
+	"errors"
+	"math"
+	"math/cmplx"
+	"sort"
+)
+
+// Eig holds the eigendecomposition of a Hermitian matrix: real eigenvalues
+// and the corresponding orthonormal eigenvectors (columns of Vectors).
+type Eig struct {
+	// Values are the eigenvalues sorted in descending order.
+	Values []float64
+	// Vectors holds the eigenvectors as columns, in the same order as Values.
+	Vectors *Matrix
+}
+
+// ErrNotHermitian is returned by HermitianEig when the input matrix is not
+// Hermitian within the verification tolerance.
+var ErrNotHermitian = errors.New("cmath: matrix is not Hermitian")
+
+// ErrNoConvergence is returned when the Jacobi iteration fails to reduce the
+// off-diagonal norm below tolerance within the sweep budget. This indicates
+// a pathological input; well-conditioned Hermitian matrices converge in a
+// handful of sweeps.
+var ErrNoConvergence = errors.New("cmath: Jacobi eigendecomposition did not converge")
+
+const (
+	jacobiMaxSweeps = 64
+	jacobiTol       = 1e-12
+)
+
+// HermitianEig computes the eigendecomposition of the Hermitian matrix a
+// using cyclic complex Jacobi rotations. The input is not modified.
+//
+// Eigenvalues are returned in descending order with matching eigenvector
+// columns; this is the order the MUSIC algorithm consumes (signal subspace
+// first, noise subspace last).
+func HermitianEig(a *Matrix) (*Eig, error) {
+	n := a.Rows
+	if a.Cols != n {
+		return nil, ErrNotHermitian
+	}
+	// Hermitian check with a tolerance scaled by the matrix magnitude.
+	scale := a.FrobeniusNorm()
+	if scale == 0 {
+		// Zero matrix: all eigenvalues zero, identity eigenvectors.
+		return &Eig{Values: make([]float64, n), Vectors: Identity(n)}, nil
+	}
+	if !a.IsHermitian(1e-9 * scale) {
+		return nil, ErrNotHermitian
+	}
+
+	w := a.Clone()
+	// Force exact Hermitian symmetry so rounding in the input cannot bias
+	// the rotations.
+	for i := 0; i < n; i++ {
+		w.Set(i, i, complex(real(w.At(i, i)), 0))
+		for j := i + 1; j < n; j++ {
+			avg := (w.At(i, j) + cmplx.Conj(w.At(j, i))) / 2
+			w.Set(i, j, avg)
+			w.Set(j, i, cmplx.Conj(avg))
+		}
+	}
+	v := Identity(n)
+
+	tol := jacobiTol * scale
+	converged := false
+	for sweep := 0; sweep < jacobiMaxSweeps; sweep++ {
+		if w.offDiagNorm() <= tol {
+			converged = true
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				jacobiRotate(w, v, p, q)
+			}
+		}
+	}
+	if !converged && w.offDiagNorm() > tol*1e3 {
+		return nil, ErrNoConvergence
+	}
+
+	vals := make([]float64, n)
+	for i := 0; i < n; i++ {
+		vals[i] = real(w.At(i, i))
+	}
+	// Sort descending, permuting eigenvector columns alongside.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return vals[idx[i]] > vals[idx[j]] })
+
+	sortedVals := make([]float64, n)
+	sortedVecs := NewMatrix(n, n)
+	for newCol, oldCol := range idx {
+		sortedVals[newCol] = vals[oldCol]
+		for r := 0; r < n; r++ {
+			sortedVecs.Set(r, newCol, v.At(r, oldCol))
+		}
+	}
+	return &Eig{Values: sortedVals, Vectors: sortedVecs}, nil
+}
+
+// jacobiRotate applies one two-sided unitary Jacobi rotation zeroing the
+// (p,q) element of the Hermitian working matrix w, accumulating the rotation
+// into v.
+func jacobiRotate(w, v *Matrix, p, q int) {
+	apq := w.At(p, q)
+	r := cmplx.Abs(apq)
+	if r == 0 {
+		return
+	}
+	app := real(w.At(p, p))
+	aqq := real(w.At(q, q))
+	// Phase of the off-diagonal element.
+	phase := apq / complex(r, 0) // e^{i phi}
+	phaseConj := cmplx.Conj(phase)
+
+	// Choose rotation angle: the annihilation condition for this rotation
+	// convention is t^2 - 2*tau*t - 1 = 0 with tau = (aqq - app) / (2r).
+	// Take the smaller-magnitude root, written in its numerically stable
+	// reciprocal form.
+	tau := (aqq - app) / (2 * r)
+	var t float64
+	if tau >= 0 {
+		t = -1 / (tau + math.Sqrt(1+tau*tau))
+	} else {
+		t = 1 / (-tau + math.Sqrt(1+tau*tau))
+	}
+	c := 1 / math.Sqrt(1+t*t)
+	s := t * c
+	cc := complex(c, 0)
+	sc := complex(s, 0)
+
+	n := w.Rows
+	// Right multiplication: W <- W * G.
+	for i := 0; i < n; i++ {
+		wip := w.At(i, p)
+		wiq := w.At(i, q)
+		w.Set(i, p, cc*wip+sc*phaseConj*wiq)
+		w.Set(i, q, -sc*phase*wip+cc*wiq)
+	}
+	// Left multiplication: W <- G^H * W.
+	for j := 0; j < n; j++ {
+		wpj := w.At(p, j)
+		wqj := w.At(q, j)
+		w.Set(p, j, cc*wpj+sc*phase*wqj)
+		w.Set(q, j, -sc*phaseConj*wpj+cc*wqj)
+	}
+	// Clean the rotated pivot pair: the math guarantees these are real /
+	// zero; enforce it to stop rounding error from accumulating.
+	w.Set(p, q, 0)
+	w.Set(q, p, 0)
+	w.Set(p, p, complex(real(w.At(p, p)), 0))
+	w.Set(q, q, complex(real(w.At(q, q)), 0))
+
+	// Accumulate eigenvectors: V <- V * G.
+	for i := 0; i < n; i++ {
+		vip := v.At(i, p)
+		viq := v.At(i, q)
+		v.Set(i, p, cc*vip+sc*phaseConj*viq)
+		v.Set(i, q, -sc*phase*vip+cc*viq)
+	}
+}
+
+// EigenvectorColumns returns the first k eigenvector columns of e as
+// vectors. It panics if k exceeds the decomposition size.
+func (e *Eig) EigenvectorColumns(k int) []Vector {
+	out := make([]Vector, k)
+	for j := 0; j < k; j++ {
+		out[j] = e.Vectors.Col(j)
+	}
+	return out
+}
+
+// NoiseSubspace returns the eigenvector columns with index >= signalDim,
+// i.e. the noise-space basis used by MUSIC. It panics if signalDim is out
+// of range.
+func (e *Eig) NoiseSubspace(signalDim int) []Vector {
+	n := len(e.Values)
+	out := make([]Vector, 0, n-signalDim)
+	for j := signalDim; j < n; j++ {
+		out = append(out, e.Vectors.Col(j))
+	}
+	return out
+}

@@ -1,0 +1,220 @@
+package cmath
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randHermitian builds a random n x n Hermitian matrix from the given rng.
+func randHermitian(r *rand.Rand, n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, complex(r.NormFloat64(), 0))
+		for j := i + 1; j < n; j++ {
+			v := complex(r.NormFloat64(), r.NormFloat64())
+			m.Set(i, j, v)
+			m.Set(j, i, cmplx.Conj(v))
+		}
+	}
+	return m
+}
+
+func TestHermitianEigDiagonal(t *testing.T) {
+	m := NewMatrix(3, 3)
+	m.Set(0, 0, 1)
+	m.Set(1, 1, 5)
+	m.Set(2, 2, 3)
+	e, err := HermitianEig(m)
+	if err != nil {
+		t.Fatalf("HermitianEig: %v", err)
+	}
+	want := []float64{5, 3, 1}
+	for i, w := range want {
+		if math.Abs(e.Values[i]-w) > 1e-12 {
+			t.Errorf("eigenvalue %d = %v, want %v", i, e.Values[i], w)
+		}
+	}
+}
+
+func TestHermitianEigKnown2x2(t *testing.T) {
+	// [[2, i], [-i, 2]] has eigenvalues 3 and 1.
+	m := NewMatrix(2, 2)
+	m.Set(0, 0, 2)
+	m.Set(0, 1, complex(0, 1))
+	m.Set(1, 0, complex(0, -1))
+	m.Set(1, 1, 2)
+	e, err := HermitianEig(m)
+	if err != nil {
+		t.Fatalf("HermitianEig: %v", err)
+	}
+	if math.Abs(e.Values[0]-3) > 1e-10 || math.Abs(e.Values[1]-1) > 1e-10 {
+		t.Fatalf("eigenvalues = %v, want [3 1]", e.Values)
+	}
+	// Check A v = lambda v for both pairs.
+	for j := 0; j < 2; j++ {
+		v := e.Vectors.Col(j)
+		av := m.MulVec(v)
+		for i := range av {
+			diff := cmplx.Abs(av[i] - complex(e.Values[j], 0)*v[i])
+			if diff > 1e-10 {
+				t.Errorf("A v != lambda v for eigenpair %d (diff %g)", j, diff)
+			}
+		}
+	}
+}
+
+func TestHermitianEigRejectsNonHermitian(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Set(0, 1, 1)
+	m.Set(1, 0, 2) // not conj-symmetric
+	if _, err := HermitianEig(m); err != ErrNotHermitian {
+		t.Fatalf("err = %v, want ErrNotHermitian", err)
+	}
+	rect := NewMatrix(2, 3)
+	if _, err := HermitianEig(rect); err != ErrNotHermitian {
+		t.Fatalf("rectangular err = %v, want ErrNotHermitian", err)
+	}
+}
+
+func TestHermitianEigZeroMatrix(t *testing.T) {
+	e, err := HermitianEig(NewMatrix(4, 4))
+	if err != nil {
+		t.Fatalf("HermitianEig zero: %v", err)
+	}
+	for _, v := range e.Values {
+		if v != 0 {
+			t.Fatalf("zero matrix eigenvalues = %v", e.Values)
+		}
+	}
+}
+
+// TestHermitianEigProperties is a property-based test: for random Hermitian
+// matrices, the decomposition must satisfy (1) real sorted eigenvalues,
+// (2) A*V = V*diag(vals), (3) V unitary, (4) trace preservation.
+func TestHermitianEigProperties(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 40}
+	sizes := []int{1, 2, 3, 5, 8, 13}
+	seed := int64(0)
+	f := func() bool {
+		r := rand.New(rand.NewSource(seed))
+		seed++
+		n := sizes[r.Intn(len(sizes))]
+		m := randHermitian(r, n)
+		e, err := HermitianEig(m)
+		if err != nil {
+			t.Logf("decomposition error: %v", err)
+			return false
+		}
+		// (1) sorted descending
+		for i := 1; i < n; i++ {
+			if e.Values[i] > e.Values[i-1]+1e-9 {
+				t.Logf("eigenvalues not sorted: %v", e.Values)
+				return false
+			}
+		}
+		// (2) A v = lambda v
+		for j := 0; j < n; j++ {
+			v := e.Vectors.Col(j)
+			av := m.MulVec(v)
+			for i := range av {
+				if cmplx.Abs(av[i]-complex(e.Values[j], 0)*v[i]) > 1e-8*(1+math.Abs(e.Values[j])) {
+					t.Logf("eigenpair %d fails A v = lambda v", j)
+					return false
+				}
+			}
+		}
+		// (3) V^H V = I
+		vhv := e.Vectors.ConjTranspose().Mul(e.Vectors)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				want := complex128(0)
+				if i == j {
+					want = 1
+				}
+				if cmplx.Abs(vhv.At(i, j)-want) > 1e-9 {
+					t.Logf("V not unitary at (%d,%d): %v", i, j, vhv.At(i, j))
+					return false
+				}
+			}
+		}
+		// (4) trace preserved
+		var trA, trL float64
+		for i := 0; i < n; i++ {
+			trA += real(m.At(i, i))
+			trL += e.Values[i]
+		}
+		if math.Abs(trA-trL) > 1e-8*(1+math.Abs(trA)) {
+			t.Logf("trace mismatch %v vs %v", trA, trL)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNoiseSubspaceDimensions(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	m := randHermitian(r, 6)
+	e, err := HermitianEig(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns := e.NoiseSubspace(2)
+	if len(ns) != 4 {
+		t.Fatalf("noise subspace size = %d, want 4", len(ns))
+	}
+	sig := e.EigenvectorColumns(2)
+	if len(sig) != 2 {
+		t.Fatalf("signal subspace size = %d, want 2", len(sig))
+	}
+	// Signal and noise vectors must be orthogonal.
+	for _, s := range sig {
+		for _, nv := range ns {
+			if cmplx.Abs(s.Dot(nv)) > 1e-9 {
+				t.Fatalf("signal/noise subspaces not orthogonal")
+			}
+		}
+	}
+}
+
+func TestHermitianEigLowRank(t *testing.T) {
+	// Rank-1 matrix v v^H: one eigenvalue = |v|^2, rest zero. This is the
+	// exact structure of a single-source correlation matrix in MUSIC.
+	v := Vector{1, complex(0, 1), complex(1, 1), 2}
+	m := NewMatrix(4, 4)
+	m.AddOuter(v, v)
+	e, err := HermitianEig(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e.Values[0]-v.Energy()) > 1e-9 {
+		t.Fatalf("top eigenvalue %v, want %v", e.Values[0], v.Energy())
+	}
+	for _, rest := range e.Values[1:] {
+		if math.Abs(rest) > 1e-9 {
+			t.Fatalf("expected zero tail eigenvalues, got %v", e.Values)
+		}
+	}
+	// Top eigenvector must be parallel to v.
+	top := e.Vectors.Col(0)
+	corr := cmplx.Abs(top.Dot(v)) / v.Norm()
+	if math.Abs(corr-1) > 1e-9 {
+		t.Fatalf("top eigenvector correlation = %v, want 1", corr)
+	}
+}
+
+func BenchmarkHermitianEig32(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	m := randHermitian(r, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := HermitianEig(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

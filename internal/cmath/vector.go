@@ -1,0 +1,138 @@
+// Package cmath provides complex-valued vector and matrix primitives for
+// the Wi-Vi signal-processing chain: dense complex matrices, Hermitian
+// eigendecomposition (Jacobi), and the handful of BLAS-like operations
+// that the MUSIC algorithm and the MIMO nulling math require.
+//
+// Everything is implemented from scratch on top of the standard library;
+// the package has no external dependencies.
+package cmath
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// Vector is a dense complex vector.
+type Vector []complex128
+
+// NewVector returns a zero vector of length n.
+func NewVector(n int) Vector { return make(Vector, n) }
+
+// Clone returns a deep copy of v.
+func (v Vector) Clone() Vector {
+	out := make(Vector, len(v))
+	copy(out, v)
+	return out
+}
+
+// Dot returns the standard inner product conj(v)·w.
+// It panics if the lengths differ.
+func (v Vector) Dot(w Vector) complex128 {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("cmath: Dot length mismatch %d != %d", len(v), len(w)))
+	}
+	var s complex128
+	for i := range v {
+		s += cmplx.Conj(v[i]) * w[i]
+	}
+	return s
+}
+
+// Norm returns the Euclidean norm of v.
+func (v Vector) Norm() float64 {
+	var s float64
+	for _, x := range v {
+		re, im := real(x), imag(x)
+		s += re*re + im*im
+	}
+	return math.Sqrt(s)
+}
+
+// Energy returns the squared Euclidean norm of v.
+func (v Vector) Energy() float64 {
+	var s float64
+	for _, x := range v {
+		re, im := real(x), imag(x)
+		s += re*re + im*im
+	}
+	return s
+}
+
+// Scale multiplies every element of v by a in place and returns v.
+func (v Vector) Scale(a complex128) Vector {
+	for i := range v {
+		v[i] *= a
+	}
+	return v
+}
+
+// AddScaled adds a*w to v in place (v += a*w) and returns v.
+// It panics if the lengths differ.
+func (v Vector) AddScaled(a complex128, w Vector) Vector {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("cmath: AddScaled length mismatch %d != %d", len(v), len(w)))
+	}
+	for i := range v {
+		v[i] += a * w[i]
+	}
+	return v
+}
+
+// Sub returns v - w as a new vector. It panics if the lengths differ.
+func (v Vector) Sub(w Vector) Vector {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("cmath: Sub length mismatch %d != %d", len(v), len(w)))
+	}
+	out := make(Vector, len(v))
+	for i := range v {
+		out[i] = v[i] - w[i]
+	}
+	return out
+}
+
+// Mean returns the arithmetic mean of the elements of v (0 for empty v).
+func (v Vector) Mean() complex128 {
+	if len(v) == 0 {
+		return 0
+	}
+	var s complex128
+	for _, x := range v {
+		s += x
+	}
+	return s / complex(float64(len(v)), 0)
+}
+
+// Normalize scales v in place to unit norm and returns v.
+// A zero vector is returned unchanged.
+func (v Vector) Normalize() Vector {
+	n := v.Norm()
+	if n == 0 {
+		return v
+	}
+	inv := complex(1/n, 0)
+	for i := range v {
+		v[i] *= inv
+	}
+	return v
+}
+
+// Conj returns the element-wise complex conjugate of v as a new vector.
+func (v Vector) Conj() Vector {
+	out := make(Vector, len(v))
+	for i, x := range v {
+		out[i] = cmplx.Conj(x)
+	}
+	return out
+}
+
+// MaxAbs returns the maximum element magnitude of v (0 for empty v).
+func (v Vector) MaxAbs() float64 {
+	var m float64
+	for _, x := range v {
+		if a := cmplx.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}

@@ -1,0 +1,238 @@
+// Package core integrates Wi-Vi's processing pipeline — the paper's
+// primary contribution — into a single device abstraction:
+//
+//	null the static channel (internal/nulling, §4)
+//	  -> boost power and capture the residual channel (§4.1.2)
+//	  -> combine subcarriers (§7.1)
+//	  -> emulated-array processing with smoothed MUSIC (internal/isar, §5)
+//	  -> track / count humans (internal/detect, §5.2)
+//	  -> decode gesture messages (internal/gesture, §6)
+//
+// The hardware (or, here, the physical simulation in internal/sim) sits
+// behind the FrontEnd interface, so the identical pipeline can run over
+// synthetic channels in tests and over recorded traces.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"wivi/internal/detect"
+	"wivi/internal/gesture"
+	"wivi/internal/isar"
+	"wivi/internal/nulling"
+	"wivi/internal/ofdm"
+)
+
+// FrontEnd abstracts the radio hardware the pipeline drives. It extends
+// the nulling sounder with tracking capture and radio metadata.
+type FrontEnd interface {
+	nulling.Sounder
+
+	// Capture records n tracking samples starting at startT (seconds)
+	// with the given precoding and transmit boost; the result is indexed
+	// [subcarrier][sample].
+	Capture(p []complex128, boostDB float64, startT float64, n int) ([][]complex128, error)
+
+	// Wavelength returns the center carrier wavelength in meters.
+	Wavelength() float64
+	// SampleT returns the tracking sample period in seconds.
+	SampleT() float64
+	// NumSubcarriers returns the per-measurement subcarrier count.
+	NumSubcarriers() int
+	// NoiseFloor returns the expected noise power of one combined
+	// tracking sample (measurable with the transmitter off).
+	NoiseFloor() float64
+}
+
+// Mode selects the device's operating mode (§3.2).
+type Mode int
+
+const (
+	// ModeTracking images and tracks moving objects behind the wall.
+	ModeTracking Mode = iota
+	// ModeGesture decodes gesture-encoded messages.
+	ModeGesture
+)
+
+// String renders the mode.
+func (m Mode) String() string {
+	if m == ModeGesture {
+		return "gesture"
+	}
+	return "tracking"
+}
+
+// Config parameterizes the pipeline.
+type Config struct {
+	// Nulling controls Algorithm 1.
+	Nulling nulling.Config
+	// ISAR controls the emulated-array processing. Lambda and SampleT
+	// are overwritten from the front end.
+	ISAR isar.Config
+	// Gesture controls the decoder; FrameT is overwritten from the ISAR
+	// hop.
+	Gesture gesture.DecoderConfig
+}
+
+// DefaultConfig returns the paper-matched pipeline configuration for a
+// front end.
+func DefaultConfig(fe FrontEnd) Config {
+	ic := isar.DefaultConfig()
+	ic.Lambda = fe.Wavelength()
+	ic.SampleT = fe.SampleT()
+	return Config{
+		Nulling: nulling.DefaultConfig(),
+		ISAR:    ic,
+		Gesture: gesture.DefaultDecoderConfig(float64(ic.Hop) * ic.SampleT),
+	}
+}
+
+// Trace is one recorded capture: the per-subcarrier residual channel and
+// the subcarrier-combined stream the ISAR core consumes.
+type Trace struct {
+	// SampleT is the sample period in seconds.
+	SampleT float64
+	// Lambda is the center wavelength in meters.
+	Lambda float64
+	// PerSub is the raw capture, indexed [subcarrier][sample].
+	PerSub [][]complex128
+	// Combined is the coherently combined channel stream.
+	Combined []complex128
+	// Nulling is the nulling result in effect during the capture.
+	Nulling *nulling.Result
+}
+
+// Samples returns the trace length in samples.
+func (t *Trace) Samples() int { return len(t.Combined) }
+
+// Duration returns the trace length in seconds.
+func (t *Trace) Duration() float64 { return float64(len(t.Combined)) * t.SampleT }
+
+// Device is the integrated Wi-Vi pipeline over a front end.
+type Device struct {
+	fe      FrontEnd
+	cfg     Config
+	mode    Mode
+	proc    *isar.Processor
+	nullRes *nulling.Result
+}
+
+// New builds a pipeline device. The config's ISAR lambda/sample period
+// and gesture frame period are synchronized to the front end.
+func New(fe FrontEnd, cfg Config) (*Device, error) {
+	if fe == nil {
+		return nil, errors.New("core: nil front end")
+	}
+	cfg.ISAR.Lambda = fe.Wavelength()
+	cfg.ISAR.SampleT = fe.SampleT()
+	cfg.Gesture.FrameT = float64(cfg.ISAR.Hop) * cfg.ISAR.SampleT
+	proc, err := isar.NewProcessor(cfg.ISAR)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return &Device{fe: fe, cfg: cfg, proc: proc}, nil
+}
+
+// SetMode selects tracking or gesture mode (§3.2). The pipeline is the
+// same; the mode is advisory metadata for callers and reports.
+func (d *Device) SetMode(m Mode) { d.mode = m }
+
+// CurrentMode returns the device mode.
+func (d *Device) CurrentMode() Mode { return d.mode }
+
+// Config returns the active configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// Null runs the three-phase nulling procedure (§4) and retains the
+// result for subsequent captures.
+func (d *Device) Null() (*nulling.Result, error) {
+	res, err := nulling.Run(d.fe, d.cfg.Nulling)
+	if err != nil {
+		return nil, err
+	}
+	d.nullRes = res
+	return res, nil
+}
+
+// NullingResult returns the most recent nulling result (nil before Null).
+func (d *Device) NullingResult() *nulling.Result { return d.nullRes }
+
+// CaptureTrace nulls (if not yet done) and records duration seconds of
+// the residual channel starting at startT.
+func (d *Device) CaptureTrace(startT, duration float64) (*Trace, error) {
+	if duration <= 0 {
+		return nil, fmt.Errorf("core: non-positive capture duration %v", duration)
+	}
+	if d.nullRes == nil {
+		if _, err := d.Null(); err != nil {
+			return nil, fmt.Errorf("core: auto-null: %w", err)
+		}
+	}
+	n := int(duration / d.fe.SampleT())
+	if n < 1 {
+		n = 1
+	}
+	perSub, err := d.fe.Capture(d.nullRes.P, d.cfg.Nulling.BoostDB, startT, n)
+	if err != nil {
+		return nil, fmt.Errorf("core: capture: %w", err)
+	}
+	combined, err := ofdm.CombineSubcarriers(perSub)
+	if err != nil {
+		return nil, fmt.Errorf("core: combining subcarriers: %w", err)
+	}
+	return &Trace{
+		SampleT:  d.fe.SampleT(),
+		Lambda:   d.fe.Wavelength(),
+		PerSub:   perSub,
+		Combined: combined,
+		Nulling:  d.nullRes,
+	}, nil
+}
+
+// Image runs the smoothed-MUSIC ISAR chain over a trace.
+func (d *Device) Image(tr *Trace) (*isar.Image, error) {
+	return d.proc.ComputeImage(tr.Combined)
+}
+
+// BeamformImage runs the plain Eq. 5.1 beamformer over a trace (the
+// MUSIC ablation).
+func (d *Device) BeamformImage(tr *Trace) (*isar.Image, error) {
+	return d.proc.ComputeBeamformImage(tr.Combined)
+}
+
+// Track captures duration seconds and returns the angle-time image plus
+// the underlying trace.
+func (d *Device) Track(startT, duration float64) (*isar.Image, *Trace, error) {
+	tr, err := d.CaptureTrace(startT, duration)
+	if err != nil {
+		return nil, nil, err
+	}
+	img, err := d.Image(tr)
+	if err != nil {
+		return nil, nil, err
+	}
+	return img, tr, nil
+}
+
+// SpatialVariance returns the trial-level counting statistic: the
+// line-spread spatial variance anchored to the receiver noise floor
+// (detect.MeanLineVariance; see its doc for the relation to Eq. 5.4/5.5).
+func (d *Device) SpatialVariance(img *isar.Image) float64 {
+	return detect.MeanLineVariance(img, d.fe.NoiseFloor(), d.cfg.Gesture.GuardAngleDeg)
+}
+
+// CountHumans classifies an image's spatial variance with a trained
+// classifier.
+func (d *Device) CountHumans(img *isar.Image, c *detect.Classifier) int {
+	return c.Classify(d.SpatialVariance(img))
+}
+
+// DecodeGestures runs the §6.2 decoding chain over an image.
+func (d *Device) DecodeGestures(img *isar.Image) (*gesture.Result, error) {
+	return gesture.DecodeImage(img, d.cfg.Gesture)
+}
+
+// Processor exposes the underlying ISAR processor (for evaluation code
+// that needs the angle grid).
+func (d *Device) Processor() *isar.Processor { return d.proc }

@@ -1,0 +1,251 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"wivi/internal/detect"
+	"wivi/internal/isar"
+	"wivi/internal/motion"
+	"wivi/internal/sim"
+)
+
+// Compile-time check: the physical simulation implements the front end.
+var _ FrontEnd = (*sim.Device)(nil)
+
+func newSimDevice(t *testing.T, seed int64, build func(*sim.Scene)) (*Device, *sim.Device) {
+	t.Helper()
+	sc := sim.NewScene(sim.SceneConfig{Seed: seed})
+	if build != nil {
+		build(sc)
+	}
+	fe, err := sim.NewDevice(sc, sim.DefaultCalibration(), sim.DeviceConfig{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := New(fe, DefaultConfig(fe))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dev, fe
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, Config{}); err == nil {
+		t.Fatal("nil front end accepted")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ModeTracking.String() != "tracking" || ModeGesture.String() != "gesture" {
+		t.Fatal("mode strings")
+	}
+	dev, _ := newSimDevice(t, 1, nil)
+	dev.SetMode(ModeGesture)
+	if dev.CurrentMode() != ModeGesture {
+		t.Fatal("SetMode lost")
+	}
+}
+
+func TestCaptureTraceAutoNulls(t *testing.T) {
+	dev, _ := newSimDevice(t, 2, nil)
+	if dev.NullingResult() != nil {
+		t.Fatal("nulling result before Null")
+	}
+	tr, err := dev.CaptureTrace(0, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev.NullingResult() == nil {
+		t.Fatal("auto-null did not run")
+	}
+	if tr.Samples() < 100 {
+		t.Fatalf("trace samples = %d", tr.Samples())
+	}
+	if math.Abs(tr.Duration()-1.0) > 0.05 {
+		t.Fatalf("trace duration = %v", tr.Duration())
+	}
+	if _, err := dev.CaptureTrace(0, -1); err == nil {
+		t.Fatal("negative duration accepted")
+	}
+}
+
+// TestTrackSingleWalkerEndToEnd is the Fig. 5-2 integration test: a
+// single walker behind a hollow wall must produce an angle-time image
+// whose dominant non-DC angle tracks the ground-truth sign (positive
+// approaching, negative receding).
+func TestTrackSingleWalkerEndToEnd(t *testing.T) {
+	var fe *sim.Device
+	dev, fe := newSimDevice(t, 42, func(sc *sim.Scene) {
+		if _, err := sc.AddWalker(8); err != nil {
+			t.Fatal(err)
+		}
+	})
+	img, tr, err := dev.Track(0, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.NumFrames() < 40 {
+		t.Fatalf("only %d frames", img.NumFrames())
+	}
+	truth := fe.Truth(0, tr.Samples())
+
+	agree, total := 0, 0
+	cfg := dev.Config().ISAR
+	for f := 0; f < img.NumFrames(); f++ {
+		// Center sample index of this frame.
+		center := f*cfg.Hop + cfg.Window/2
+		if center >= tr.Samples() {
+			break
+		}
+		truthAngle, ok := truth.ObservedAngleDeg(0, center, cfg.Velocity)
+		if !ok || math.Abs(truthAngle) < 25 {
+			continue // ambiguous frames: stationary or near-perpendicular
+		}
+		angles := img.DominantAngles(f, 1, 8)
+		if len(angles) == 0 {
+			continue
+		}
+		total++
+		if (angles[0] > 0) == (truthAngle > 0) {
+			agree++
+		}
+	}
+	if total < 10 {
+		t.Fatalf("too few comparable frames: %d", total)
+	}
+	if frac := float64(agree) / float64(total); frac < 0.6 {
+		t.Fatalf("angle sign agreement %.0f%% (%d/%d), want >= 60%%",
+			100*frac, agree, total)
+	}
+}
+
+// TestGestureRoundTripThroughWall is the Fig. 6-1/6-3 integration test:
+// a subject 4 m behind a hollow wall transmits '0','1' and the pipeline
+// must decode exactly those bits.
+func TestGestureRoundTripThroughWall(t *testing.T) {
+	bits := []motion.Bit{motion.Bit0, motion.Bit1}
+	var duration float64
+	dev, _ := newSimDevice(t, 7, func(sc *sim.Scene) {
+		params := motion.DefaultGestureParams()
+		if _, err := sc.AddGestureSubject(4, bits, params, 0, 1.5); err != nil {
+			t.Fatal(err)
+		}
+		duration = motion.MessageDuration(len(bits), params, 1.5) + 1
+	})
+	dev.SetMode(ModeGesture)
+	img, _, err := dev.Track(0, duration)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := dev.DecodeGestures(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Bits) != len(bits) {
+		t.Fatalf("decoded %d bits (%v), want %d (steps=%d unpaired=%d floor=%g)",
+			len(res.Bits), res.Bits, len(bits), len(res.Steps), res.UnpairedSteps, res.NoiseFloor)
+	}
+	for i := range bits {
+		if res.Bits[i] != bits[i] {
+			t.Fatalf("bit %d decoded as %v, want %v", i, res.Bits[i], bits[i])
+		}
+	}
+	if res.BitSNRsDB[0] <= 3 {
+		t.Fatalf("gesture SNR %v dB too low for a 4 m subject", res.BitSNRsDB[0])
+	}
+}
+
+// TestSpatialVarianceOrdering: more walkers => higher spatial variance
+// (the Fig. 7-3 mechanism). Averaged over a few seeds; the full 80-trial
+// CDF lives in the evaluation harness.
+func TestSpatialVarianceOrdering(t *testing.T) {
+	variances := make([]float64, 3)
+	const seeds = 5
+	for n := 0; n <= 2; n++ {
+		for s := 0; s < seeds; s++ {
+			dev, _ := newSimDevice(t, int64(100+10*n+s), func(sc *sim.Scene) {
+				for i := 0; i < n; i++ {
+					if _, err := sc.AddWalker(8); err != nil {
+						t.Fatal(err)
+					}
+				}
+			})
+			img, _, err := dev.Track(0, 6)
+			if err != nil {
+				t.Fatal(err)
+			}
+			variances[n] += dev.SpatialVariance(img) / seeds
+		}
+	}
+	if !(variances[0] < variances[1]) {
+		t.Fatalf("variance(0 humans)=%g !< variance(1)=%g", variances[0], variances[1])
+	}
+	// The 1-vs-2 separation is modest (the paper's separations shrink
+	// with the count, §7.4); require the mean ordering with a small
+	// tolerance for seed noise.
+	if variances[2] < variances[1]*0.95 {
+		t.Fatalf("variance(1)=%g not <= variance(2)=%g", variances[1], variances[2])
+	}
+}
+
+func TestCountHumansWithClassifier(t *testing.T) {
+	c := &detect.Classifier{Base: 0, Thresholds: []float64{10, 20}}
+	dev, _ := newSimDevice(t, 3, nil)
+	img := &isar.Image{
+		ThetaDeg:    []float64{-10, 0, 10},
+		Power:       [][]float64{{1, 100, 1}},
+		Times:       []float64{0},
+		MotionPower: []float64{1},
+		SignalDim:   []int{1},
+	}
+	got := dev.CountHumans(img, c)
+	if got < 0 || got > 2 {
+		t.Fatalf("count = %d", got)
+	}
+}
+
+func TestBeamformImageAblation(t *testing.T) {
+	dev, _ := newSimDevice(t, 11, func(sc *sim.Scene) {
+		if _, err := sc.AddWalker(4); err != nil {
+			t.Fatal(err)
+		}
+	})
+	tr, err := dev.CaptureTrace(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu, err := dev.Image(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf, err := dev.BeamformImage(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mu.NumFrames() != bf.NumFrames() {
+		t.Fatal("frame count mismatch between MUSIC and beamforming")
+	}
+}
+
+// errFrontEnd exercises error propagation.
+type errFrontEnd struct{ FrontEnd }
+
+func (e errFrontEnd) MeasureSingle(int) ([]complex128, error) {
+	return nil, errors.New("radio unplugged")
+}
+
+func TestNullErrorPropagates(t *testing.T) {
+	_, fe := newSimDevice(t, 5, nil)
+	dev, err := New(errFrontEnd{fe}, DefaultConfig(fe))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dev.Null(); err == nil {
+		t.Fatal("front-end error swallowed")
+	}
+	if _, err := dev.CaptureTrace(0, 1); err == nil {
+		t.Fatal("auto-null error swallowed")
+	}
+}

@@ -1,0 +1,163 @@
+// Package dsp implements the signal-processing primitives used throughout
+// the Wi-Vi pipeline: FFT/IFFT, window functions, convolution and matched
+// filtering, peak detection, and the descriptive statistics used by the
+// evaluation harness (CDFs, percentiles, dB conversions).
+//
+// All routines are deterministic, allocation-conscious and stdlib-only.
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// FFT returns the discrete Fourier transform of x as a new slice.
+// Any length is supported: powers of two use an iterative radix-2
+// Cooley-Tukey kernel; other lengths fall back to Bluestein's algorithm.
+func FFT(x []complex128) []complex128 {
+	out := make([]complex128, len(x))
+	copy(out, x)
+	fftInPlace(out, false)
+	return out
+}
+
+// IFFT returns the inverse discrete Fourier transform of x (normalized by
+// 1/N) as a new slice.
+func IFFT(x []complex128) []complex128 {
+	out := make([]complex128, len(x))
+	copy(out, x)
+	fftInPlace(out, true)
+	return out
+}
+
+// fftInPlace transforms x in place. If inverse is true the inverse
+// transform (including the 1/N normalization) is computed.
+func fftInPlace(x []complex128, inverse bool) {
+	n := len(x)
+	if n <= 1 {
+		return
+	}
+	if n&(n-1) == 0 {
+		radix2(x, inverse)
+	} else {
+		bluestein(x, inverse)
+	}
+	if inverse {
+		scale := complex(1/float64(n), 0)
+		for i := range x {
+			x[i] *= scale
+		}
+	}
+}
+
+// radix2 is an iterative in-place radix-2 Cooley-Tukey FFT.
+// n must be a power of two. No normalization is applied.
+func radix2(x []complex128, inverse bool) {
+	n := len(x)
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := sign * 2 * math.Pi / float64(size)
+		wStep := cmplx.Rect(1, step)
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+				w *= wStep
+			}
+		}
+	}
+}
+
+// bluestein computes an arbitrary-length DFT as a convolution using
+// zero-padded power-of-two FFTs (chirp-z transform).
+func bluestein(x []complex128, inverse bool) {
+	n := len(x)
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	// Chirp: w[k] = exp(sign * i*pi*k^2/n)
+	chirp := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		// Use int64 mod 2n to avoid float blowup for large k.
+		kk := (int64(k) * int64(k)) % (2 * int64(n))
+		chirp[k] = cmplx.Rect(1, sign*math.Pi*float64(kk)/float64(n))
+	}
+	m := 1
+	for m < 2*n-1 {
+		m <<= 1
+	}
+	a := make([]complex128, m)
+	b := make([]complex128, m)
+	for k := 0; k < n; k++ {
+		a[k] = x[k] * chirp[k]
+		b[k] = cmplx.Conj(chirp[k])
+	}
+	for k := 1; k < n; k++ {
+		b[m-k] = cmplx.Conj(chirp[k])
+	}
+	radix2(a, false)
+	radix2(b, false)
+	for i := range a {
+		a[i] *= b[i]
+	}
+	radix2(a, true)
+	invM := complex(1/float64(m), 0)
+	for k := 0; k < n; k++ {
+		x[k] = a[k] * invM * chirp[k]
+	}
+}
+
+// FFTShift rotates the spectrum so the zero-frequency bin is centered.
+func FFTShift(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	half := (n + 1) / 2
+	copy(out, x[half:])
+	copy(out[n-half:], x[:half])
+	return out
+}
+
+// NextPow2 returns the smallest power of two >= n (and at least 1).
+func NextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(n-1))
+}
+
+// PowerSpectrum returns |FFT(x)|^2 for each bin.
+func PowerSpectrum(x []complex128) []float64 {
+	f := FFT(x)
+	out := make([]float64, len(f))
+	for i, v := range f {
+		re, im := real(v), imag(v)
+		out[i] = re*re + im*im
+	}
+	return out
+}
+
+// validateSameLen panics unless the two slices share a length; used by the
+// element-wise kernels below.
+func validateSameLen(op string, a, b int) {
+	if a != b {
+		panic(fmt.Sprintf("dsp: %s length mismatch %d != %d", op, a, b))
+	}
+}

@@ -1,0 +1,176 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approxEqualC(a, b complex128, tol float64) bool {
+	return cmplx.Abs(a-b) <= tol
+}
+
+func TestFFTImpulse(t *testing.T) {
+	x := make([]complex128, 8)
+	x[0] = 1
+	f := FFT(x)
+	for i, v := range f {
+		if !approxEqualC(v, 1, 1e-12) {
+			t.Fatalf("bin %d = %v, want 1", i, v)
+		}
+	}
+}
+
+func TestFFTSingleTone(t *testing.T) {
+	const n = 64
+	const bin = 5
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = cmplx.Rect(1, 2*math.Pi*bin*float64(i)/n)
+	}
+	f := FFT(x)
+	for i, v := range f {
+		want := complex128(0)
+		if i == bin {
+			want = n
+		}
+		if !approxEqualC(v, want, 1e-9) {
+			t.Fatalf("bin %d = %v, want %v", i, v, want)
+		}
+	}
+}
+
+func TestFFTLinearity(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	n := 32
+	a := make([]complex128, n)
+	b := make([]complex128, n)
+	sum := make([]complex128, n)
+	for i := 0; i < n; i++ {
+		a[i] = complex(r.NormFloat64(), r.NormFloat64())
+		b[i] = complex(r.NormFloat64(), r.NormFloat64())
+		sum[i] = a[i] + 2*b[i]
+	}
+	fa, fb, fsum := FFT(a), FFT(b), FFT(sum)
+	for i := 0; i < n; i++ {
+		if !approxEqualC(fsum[i], fa[i]+2*fb[i], 1e-9) {
+			t.Fatalf("linearity violated at bin %d", i)
+		}
+	}
+}
+
+// TestFFTRoundTripProperty: IFFT(FFT(x)) == x for arbitrary lengths,
+// including non-powers of two (Bluestein path).
+func TestFFTRoundTripProperty(t *testing.T) {
+	seed := int64(0)
+	f := func() bool {
+		r := rand.New(rand.NewSource(seed))
+		seed++
+		n := 1 + r.Intn(200)
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(r.NormFloat64(), r.NormFloat64())
+		}
+		y := IFFT(FFT(x))
+		for i := range x {
+			if !approxEqualC(x[i], y[i], 1e-8) {
+				t.Logf("n=%d mismatch at %d: %v vs %v", n, i, x[i], y[i])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFFTParseval: energy is preserved (up to the 1/N convention).
+func TestFFTParseval(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for _, n := range []int{16, 17, 100, 128} {
+		x := make([]complex128, n)
+		var ex float64
+		for i := range x {
+			x[i] = complex(r.NormFloat64(), r.NormFloat64())
+			ex += real(x[i])*real(x[i]) + imag(x[i])*imag(x[i])
+		}
+		f := FFT(x)
+		var ef float64
+		for _, v := range f {
+			ef += real(v)*real(v) + imag(v)*imag(v)
+		}
+		if math.Abs(ef/float64(n)-ex) > 1e-8*ex {
+			t.Fatalf("Parseval violated for n=%d: %v vs %v", n, ef/float64(n), ex)
+		}
+	}
+}
+
+func TestFFTShift(t *testing.T) {
+	x := []complex128{0, 1, 2, 3}
+	s := FFTShift(x)
+	want := []complex128{2, 3, 0, 1}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Fatalf("FFTShift = %v, want %v", s, want)
+		}
+	}
+	odd := []complex128{0, 1, 2, 3, 4}
+	so := FFTShift(odd)
+	wantOdd := []complex128{3, 4, 0, 1, 2}
+	for i := range wantOdd {
+		if so[i] != wantOdd[i] {
+			t.Fatalf("odd FFTShift = %v, want %v", so, wantOdd)
+		}
+	}
+}
+
+func TestNextPow2(t *testing.T) {
+	cases := map[int]int{0: 1, 1: 1, 2: 2, 3: 4, 4: 4, 5: 8, 1023: 1024, 1024: 1024, 1025: 2048}
+	for in, want := range cases {
+		if got := NextPow2(in); got != want {
+			t.Errorf("NextPow2(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestPowerSpectrumTone(t *testing.T) {
+	const n = 32
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = cmplx.Rect(2, 2*math.Pi*3*float64(i)/n)
+	}
+	p := PowerSpectrum(x)
+	if got := Argmax(p); got != 3 {
+		t.Fatalf("PowerSpectrum peak at %d, want 3", got)
+	}
+	if math.Abs(p[3]-float64(n*n)*4) > 1e-6 {
+		t.Fatalf("peak power %v, want %v", p[3], float64(n*n)*4)
+	}
+}
+
+func BenchmarkFFT1024(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	x := make([]complex128, 1024)
+	for i := range x {
+		x[i] = complex(r.NormFloat64(), r.NormFloat64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FFT(x)
+	}
+}
+
+func BenchmarkFFTBluestein1000(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	x := make([]complex128, 1000)
+	for i := range x {
+		x[i] = complex(r.NormFloat64(), r.NormFloat64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FFT(x)
+	}
+}

@@ -1,0 +1,170 @@
+package dsp
+
+import "math"
+
+// Convolve returns the full linear convolution of x and h
+// (length len(x)+len(h)-1). Small inputs use the direct method; large ones
+// use FFT-based fast convolution. Either input may be empty, in which case
+// the result is empty.
+func Convolve(x, h []float64) []float64 {
+	if len(x) == 0 || len(h) == 0 {
+		return nil
+	}
+	n := len(x) + len(h) - 1
+	if len(x)*len(h) <= 4096 {
+		out := make([]float64, n)
+		for i, xv := range x {
+			if xv == 0 {
+				continue
+			}
+			for j, hv := range h {
+				out[i+j] += xv * hv
+			}
+		}
+		return out
+	}
+	m := NextPow2(n)
+	fx := make([]complex128, m)
+	fh := make([]complex128, m)
+	for i, v := range x {
+		fx[i] = complex(v, 0)
+	}
+	for i, v := range h {
+		fh[i] = complex(v, 0)
+	}
+	radix2(fx, false)
+	radix2(fh, false)
+	for i := range fx {
+		fx[i] *= fh[i]
+	}
+	radix2(fx, true)
+	out := make([]float64, n)
+	inv := 1 / float64(m)
+	for i := range out {
+		out[i] = real(fx[i]) * inv
+	}
+	return out
+}
+
+// MatchedFilter correlates signal x against template t and returns the
+// "same"-length output aligned so that out[i] is the correlation of the
+// template centered at x[i]. This is the standard matched-filter detector
+// used by the gesture decoder (§6.2 of the paper).
+func MatchedFilter(x, t []float64) []float64 {
+	if len(x) == 0 || len(t) == 0 {
+		return nil
+	}
+	// Correlation = convolution with reversed template.
+	rev := make([]float64, len(t))
+	for i, v := range t {
+		rev[len(t)-1-i] = v
+	}
+	full := Convolve(x, rev)
+	// Center crop to len(x).
+	start := (len(t) - 1) / 2
+	out := make([]float64, len(x))
+	copy(out, full[start:start+len(x)])
+	return out
+}
+
+// MovingAverage smooths x with a centered window of the given (odd
+// preferred) size. Edges use a shrunken window. size <= 1 returns a copy.
+func MovingAverage(x []float64, size int) []float64 {
+	out := make([]float64, len(x))
+	if size <= 1 {
+		copy(out, x)
+		return out
+	}
+	half := size / 2
+	// Prefix sums for O(n).
+	prefix := make([]float64, len(x)+1)
+	for i, v := range x {
+		prefix[i+1] = prefix[i] + v
+	}
+	for i := range x {
+		lo := i - half
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + half + 1
+		if hi > len(x) {
+			hi = len(x)
+		}
+		out[i] = (prefix[hi] - prefix[lo]) / float64(hi-lo)
+	}
+	return out
+}
+
+// Detrend removes the mean of x in place and returns x.
+func Detrend(x []float64) []float64 {
+	if len(x) == 0 {
+		return x
+	}
+	var m float64
+	for _, v := range x {
+		m += v
+	}
+	m /= float64(len(x))
+	for i := range x {
+		x[i] -= m
+	}
+	return x
+}
+
+// TriangleTemplate returns a unit-peak triangular pulse of length n:
+// 0 -> 1 -> 0. This is the matched-filter template for one gesture step
+// (the angle-energy of a step rises and falls as the arm of the triangle in
+// Fig. 6-1). n < 1 returns nil.
+func TriangleTemplate(n int) []float64 {
+	if n < 1 {
+		return nil
+	}
+	out := make([]float64, n)
+	if n == 1 {
+		out[0] = 1
+		return out
+	}
+	mid := float64(n-1) / 2
+	for i := range out {
+		out[i] = 1 - math.Abs(float64(i)-mid)/mid
+	}
+	return out
+}
+
+// Decimate returns every factor-th sample of x starting at index 0.
+// factor <= 1 returns a copy.
+func Decimate(x []float64, factor int) []float64 {
+	if factor <= 1 {
+		out := make([]float64, len(x))
+		copy(out, x)
+		return out
+	}
+	out := make([]float64, 0, (len(x)+factor-1)/factor)
+	for i := 0; i < len(x); i += factor {
+		out = append(out, x[i])
+	}
+	return out
+}
+
+// AverageBlocksComplex averages consecutive blocks of blockSize complex
+// samples, producing len(x)/blockSize outputs. This models the sample
+// averaging Wi-Vi performs when collapsing 0.32 s of samples into a w=100
+// emulated antenna array (§7.1). Trailing partial blocks are dropped.
+func AverageBlocksComplex(x []complex128, blockSize int) []complex128 {
+	if blockSize <= 1 {
+		out := make([]complex128, len(x))
+		copy(out, x)
+		return out
+	}
+	n := len(x) / blockSize
+	out := make([]complex128, n)
+	inv := complex(1/float64(blockSize), 0)
+	for i := 0; i < n; i++ {
+		var s complex128
+		for j := i * blockSize; j < (i+1)*blockSize; j++ {
+			s += x[j]
+		}
+		out[i] = s * inv
+	}
+	return out
+}

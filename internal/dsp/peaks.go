@@ -1,0 +1,82 @@
+package dsp
+
+import "sort"
+
+// Peak describes one detected local extremum in a time series.
+type Peak struct {
+	Index int     // sample index of the extremum
+	Value float64 // signed value at the extremum (negative for troughs)
+}
+
+// PeakDetectorConfig controls FindPeaks.
+type PeakDetectorConfig struct {
+	// MinHeight is the minimum |value| for a peak/trough to be reported.
+	MinHeight float64
+	// MinDistance is the minimum index separation between two reported
+	// extrema. When two candidates are closer, the larger-|value| one wins.
+	MinDistance int
+	// Troughs selects whether negative-going extrema are also reported.
+	Troughs bool
+}
+
+// FindPeaks locates local maxima (and, optionally, minima) of x subject to
+// the height and spacing constraints in cfg. Results are sorted by index.
+//
+// This implements the "standard peak detector" the paper applies to the
+// matched-filter output (§6.2): every reported extremum maps to half a
+// gesture (a step forward or a step backward).
+func FindPeaks(x []float64, cfg PeakDetectorConfig) []Peak {
+	if len(x) < 3 {
+		return nil
+	}
+	var cands []Peak
+	for i := 1; i < len(x)-1; i++ {
+		v := x[i]
+		isMax := v >= x[i-1] && v > x[i+1] && v >= cfg.MinHeight
+		isMin := cfg.Troughs && v <= x[i-1] && v < x[i+1] && -v >= cfg.MinHeight
+		if isMax || isMin {
+			cands = append(cands, Peak{Index: i, Value: v})
+		}
+	}
+	if cfg.MinDistance <= 1 || len(cands) < 2 {
+		return cands
+	}
+	// Greedy non-maximum suppression: strongest first.
+	order := make([]int, len(cands))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		va, vb := cands[order[a]].Value, cands[order[b]].Value
+		if va < 0 {
+			va = -va
+		}
+		if vb < 0 {
+			vb = -vb
+		}
+		return va > vb
+	})
+	kept := make([]Peak, 0, len(cands))
+	suppressed := make([]bool, len(cands))
+	for _, oi := range order {
+		if suppressed[oi] {
+			continue
+		}
+		p := cands[oi]
+		kept = append(kept, p)
+		for j, q := range cands {
+			if j == oi || suppressed[j] {
+				continue
+			}
+			d := q.Index - p.Index
+			if d < 0 {
+				d = -d
+			}
+			if d < cfg.MinDistance {
+				suppressed[j] = true
+			}
+		}
+	}
+	sort.Slice(kept, func(a, b int) bool { return kept[a].Index < kept[b].Index })
+	return kept
+}

@@ -1,0 +1,84 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFindPeaksSimple(t *testing.T) {
+	x := []float64{0, 1, 0, 0, 2, 0}
+	peaks := FindPeaks(x, PeakDetectorConfig{MinHeight: 0.5})
+	if len(peaks) != 2 {
+		t.Fatalf("found %d peaks, want 2: %v", len(peaks), peaks)
+	}
+	if peaks[0].Index != 1 || peaks[1].Index != 4 {
+		t.Fatalf("peak indices %v", peaks)
+	}
+}
+
+func TestFindPeaksTroughs(t *testing.T) {
+	x := []float64{0, 1, 0, -1, 0, 1, 0}
+	withT := FindPeaks(x, PeakDetectorConfig{MinHeight: 0.5, Troughs: true})
+	if len(withT) != 3 {
+		t.Fatalf("with troughs found %d extrema: %v", len(withT), withT)
+	}
+	if withT[1].Value >= 0 {
+		t.Fatalf("middle extremum should be a trough: %v", withT)
+	}
+	noT := FindPeaks(x, PeakDetectorConfig{MinHeight: 0.5})
+	if len(noT) != 2 {
+		t.Fatalf("without troughs found %d: %v", len(noT), noT)
+	}
+}
+
+func TestFindPeaksMinHeight(t *testing.T) {
+	x := []float64{0, 0.2, 0, 0.9, 0}
+	peaks := FindPeaks(x, PeakDetectorConfig{MinHeight: 0.5})
+	if len(peaks) != 1 || peaks[0].Index != 3 {
+		t.Fatalf("MinHeight filter failed: %v", peaks)
+	}
+}
+
+func TestFindPeaksMinDistanceSuppression(t *testing.T) {
+	// Two close peaks: the larger must survive.
+	x := []float64{0, 1, 0, 2, 0, 0, 0, 0, 0, 0, 1.5, 0}
+	peaks := FindPeaks(x, PeakDetectorConfig{MinHeight: 0.5, MinDistance: 5})
+	if len(peaks) != 2 {
+		t.Fatalf("suppression produced %d peaks: %v", len(peaks), peaks)
+	}
+	if peaks[0].Index != 3 || math.Abs(peaks[0].Value-2) > 1e-12 {
+		t.Fatalf("first surviving peak wrong: %v", peaks)
+	}
+	if peaks[1].Index != 10 {
+		t.Fatalf("second surviving peak wrong: %v", peaks)
+	}
+}
+
+func TestFindPeaksOrderedByIndex(t *testing.T) {
+	x := []float64{0, 3, 0, 1, 0, 2, 0}
+	peaks := FindPeaks(x, PeakDetectorConfig{MinHeight: 0.5, MinDistance: 2})
+	for i := 1; i < len(peaks); i++ {
+		if peaks[i].Index <= peaks[i-1].Index {
+			t.Fatalf("peaks not sorted by index: %v", peaks)
+		}
+	}
+}
+
+func TestFindPeaksShortInput(t *testing.T) {
+	if FindPeaks([]float64{1, 2}, PeakDetectorConfig{}) != nil {
+		t.Fatal("short input should return nil")
+	}
+	if FindPeaks(nil, PeakDetectorConfig{}) != nil {
+		t.Fatal("nil input should return nil")
+	}
+}
+
+func TestFindPeaksPlateau(t *testing.T) {
+	// A flat-topped peak (v >= prev && v > next) reports the last plateau
+	// sample exactly once.
+	x := []float64{0, 1, 1, 0}
+	peaks := FindPeaks(x, PeakDetectorConfig{MinHeight: 0.5})
+	if len(peaks) != 1 {
+		t.Fatalf("plateau produced %d peaks: %v", len(peaks), peaks)
+	}
+}

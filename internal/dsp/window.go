@@ -1,0 +1,65 @@
+package dsp
+
+import "math"
+
+// WindowFunc generates an n-point analysis window.
+type WindowFunc func(n int) []float64
+
+// Rectangular returns an all-ones window.
+func Rectangular(n int) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1
+	}
+	return w
+}
+
+// Hann returns an n-point Hann window.
+func Hann(n int) []float64 {
+	w := make([]float64, n)
+	if n == 1 {
+		w[0] = 1
+		return w
+	}
+	for i := range w {
+		w[i] = 0.5 * (1 - math.Cos(2*math.Pi*float64(i)/float64(n-1)))
+	}
+	return w
+}
+
+// Hamming returns an n-point Hamming window.
+func Hamming(n int) []float64 {
+	w := make([]float64, n)
+	if n == 1 {
+		w[0] = 1
+		return w
+	}
+	for i := range w {
+		w[i] = 0.54 - 0.46*math.Cos(2*math.Pi*float64(i)/float64(n-1))
+	}
+	return w
+}
+
+// Blackman returns an n-point Blackman window.
+func Blackman(n int) []float64 {
+	w := make([]float64, n)
+	if n == 1 {
+		w[0] = 1
+		return w
+	}
+	for i := range w {
+		t := 2 * math.Pi * float64(i) / float64(n-1)
+		w[i] = 0.42 - 0.5*math.Cos(t) + 0.08*math.Cos(2*t)
+	}
+	return w
+}
+
+// ApplyWindow multiplies x element-wise by window w in place and returns x.
+// It panics if the lengths differ.
+func ApplyWindow(x []complex128, w []float64) []complex128 {
+	validateSameLen("ApplyWindow", len(x), len(w))
+	for i := range x {
+		x[i] *= complex(w[i], 0)
+	}
+	return x
+}

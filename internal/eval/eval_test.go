@@ -1,0 +1,129 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"wivi/internal/isar"
+)
+
+var quick = Options{Quick: true, Seed: 42}
+
+func checkReport(t *testing.T, r *Report) {
+	t.Helper()
+	if r.Err != nil {
+		t.Fatalf("%s failed: %v", r.ID, r.Err)
+	}
+	if !r.Pass {
+		t.Fatalf("%s shape mismatch:\n%s", r.ID, r)
+	}
+	if r.ID == "" || r.Title == "" || r.PaperClaim == "" {
+		t.Fatalf("%s report incomplete", r.ID)
+	}
+	if len(r.Lines) == 0 {
+		t.Fatalf("%s has no output lines", r.ID)
+	}
+}
+
+func TestTable41(t *testing.T)  { checkReport(t, Table41(quick)) }
+func TestLemma411(t *testing.T) { checkReport(t, Lemma411(quick)) }
+
+func TestFig52(t *testing.T) { checkReport(t, Fig52(quick)) }
+func TestFig53(t *testing.T) { checkReport(t, Fig53(quick)) }
+func TestFig61(t *testing.T) { checkReport(t, Fig61(quick)) }
+func TestFig63(t *testing.T) { checkReport(t, Fig63(quick)) }
+
+func TestFig77(t *testing.T) { checkReport(t, Fig77(quick)) }
+
+func TestAblationUWB(t *testing.T)       { checkReport(t, AblationUWBBandwidth(quick)) }
+func TestAblationSmoothing(t *testing.T) { checkReport(t, AblationSmoothing(quick)) }
+func TestAblationAperture(t *testing.T)  { checkReport(t, AblationISARAperture(quick)) }
+func TestAblationNulling(t *testing.T)   { checkReport(t, AblationNulling(quick)) }
+
+// The heavier statistical experiments run at reduced scale here and at
+// full scale in cmd/wivi-bench.
+func TestFig73Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	checkReport(t, Fig73(quick))
+}
+
+func TestTable71Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	r := Table71(quick)
+	if r.Err != nil {
+		t.Fatalf("T7.1 failed: %v", r.Err)
+	}
+	// At quick scale (3 trials/count/room) the confusion matrix is too
+	// coarse for the full shape criterion; require only structure.
+	if len(r.Lines) < 5 {
+		t.Fatalf("T7.1 output too short:\n%s", r)
+	}
+}
+
+func TestFig74Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	r := Fig74(quick)
+	if r.Err != nil {
+		t.Fatalf("F7.4 failed: %v", r.Err)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	r := &Report{ID: "X", Title: "t", PaperClaim: "c", Pass: true}
+	r.addf("line %d", 1)
+	s := r.String()
+	for _, want := range []string{"X", "SHAPE OK", "line 1", "paper: c"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("report string missing %q:\n%s", want, s)
+		}
+	}
+	r.Pass = false
+	if !strings.Contains(r.String(), "SHAPE MISMATCH") {
+		t.Fatal("fail verdict missing")
+	}
+}
+
+func TestRenderHeatmap(t *testing.T) {
+	img := &isar.Image{
+		ThetaDeg:    []float64{-90, 0, 90},
+		Power:       [][]float64{{1, 100, 1}, {1, 1, 100}},
+		Times:       []float64{0, 1},
+		MotionPower: []float64{1, 1},
+		SignalDim:   []int{1, 1},
+	}
+	rows := RenderHeatmap(img, 10, 5)
+	if len(rows) != 6 { // 5 rows + time axis
+		t.Fatalf("heatmap rows = %d", len(rows))
+	}
+	if RenderHeatmap(&isar.Image{}, 10, 5) != nil {
+		t.Fatal("empty image should render nil")
+	}
+}
+
+func TestRenderCDF(t *testing.T) {
+	rows := RenderCDF("x", []float64{1, 2, 3, 4, 5}, 20, 5)
+	if len(rows) != 6 {
+		t.Fatalf("cdf rows = %d", len(rows))
+	}
+	if RenderCDF("x", nil, 20, 5) != nil {
+		t.Fatal("empty cdf should render nil")
+	}
+}
+
+func TestRenderBar(t *testing.T) {
+	s := RenderBar("label", 50, 100, 10, "%")
+	if !strings.Contains(s, "#####") || strings.Contains(s, "######") {
+		t.Fatalf("bar fill wrong: %q", s)
+	}
+	// Clamping.
+	s = RenderBar("label", 500, 100, 10, "%")
+	if !strings.Contains(s, "##########") {
+		t.Fatalf("over-max bar: %q", s)
+	}
+}

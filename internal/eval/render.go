@@ -1,0 +1,122 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"wivi/internal/dsp"
+	"wivi/internal/isar"
+)
+
+// heatmapRamp maps normalized intensity to ASCII shade.
+const heatmapRamp = " .:-=+*#%@"
+
+// RenderHeatmap draws an angle-time image as ASCII art (angle on the
+// y axis from +90 at the top to -90 at the bottom, time on the x axis),
+// the terminal equivalent of Figs. 5-2/5-3/7-2.
+func RenderHeatmap(img *isar.Image, width, height int) []string {
+	if img.NumFrames() == 0 || width < 2 || height < 2 {
+		return nil
+	}
+	frames := img.NumFrames()
+	nTheta := len(img.ThetaDeg)
+	// Gather dB values for normalization.
+	var min, max float64 = math.Inf(1), math.Inf(-1)
+	dbs := make([][]float64, frames)
+	for f := 0; f < frames; f++ {
+		dbs[f] = img.PowerDB(f)
+		for _, v := range dbs[f] {
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+	}
+	if max <= min {
+		max = min + 1
+	}
+	rows := make([]string, 0, height+2)
+	var sb strings.Builder
+	for r := 0; r < height; r++ {
+		sb.Reset()
+		// Map row to theta index: top row = +90 degrees.
+		ti := (height - 1 - r) * (nTheta - 1) / (height - 1)
+		label := img.ThetaDeg[ti]
+		for c := 0; c < width; c++ {
+			f := c * (frames - 1) / (width - 1)
+			v := (dbs[f][ti] - min) / (max - min)
+			idx := int(v * float64(len(heatmapRamp)-1))
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(heatmapRamp) {
+				idx = len(heatmapRamp) - 1
+			}
+			sb.WriteByte(heatmapRamp[idx])
+		}
+		rows = append(rows, fmt.Sprintf("%+4.0f° |%s|", label, sb.String()))
+	}
+	t0 := img.Times[0]
+	t1 := img.Times[frames-1]
+	rows = append(rows, fmt.Sprintf("      %-*s%*.1fs", width/2, fmt.Sprintf("%.1fs", t0), width-width/2, t1))
+	return rows
+}
+
+// RenderCDF draws an empirical CDF as an ASCII step plot.
+func RenderCDF(name string, samples []float64, width, height int) []string {
+	if len(samples) == 0 || width < 2 || height < 2 {
+		return nil
+	}
+	cdf := dsp.NewCDF(samples)
+	xs, ps := cdf.Points()
+	lo, hi := xs[0], xs[len(xs)-1]
+	if hi <= lo {
+		hi = lo + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for i := range xs {
+		c := int(float64(width-1) * (xs[i] - lo) / (hi - lo))
+		r := height - 1 - int(float64(height-1)*ps[i])
+		if c >= 0 && c < width && r >= 0 && r < height {
+			grid[r][c] = '*'
+		}
+	}
+	rows := []string{fmt.Sprintf("%s (n=%d, min=%.3g, median=%.3g, max=%.3g)", name, len(samples), lo, cdf.Median(), hi)}
+	for r, line := range grid {
+		frac := float64(height-1-r) / float64(height-1)
+		rows = append(rows, fmt.Sprintf("%4.2f |%s|", frac, string(line)))
+	}
+	return rows
+}
+
+// RenderBar renders a labeled horizontal bar (for accuracy/SNR charts).
+func RenderBar(label string, value, max float64, width int, unit string) string {
+	if max <= 0 {
+		max = 1
+	}
+	n := int(value / max * float64(width))
+	if n < 0 {
+		n = 0
+	}
+	if n > width {
+		n = width
+	}
+	return fmt.Sprintf("%-22s |%-*s| %.1f%s", label, width, strings.Repeat("#", n), value, unit)
+}
+
+// summarize renders distribution statistics on one line.
+func summarize(name string, samples []float64) string {
+	if len(samples) == 0 {
+		return name + ": (no samples)"
+	}
+	lo, hi := dsp.MinMax(samples)
+	return fmt.Sprintf("%s: n=%d min=%.3g p25=%.3g median=%.3g p75=%.3g max=%.3g",
+		name, len(samples), lo, dsp.Percentile(samples, 25), dsp.Median(samples),
+		dsp.Percentile(samples, 75), hi)
+}

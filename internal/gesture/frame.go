@@ -1,0 +1,96 @@
+package gesture
+
+import (
+	"errors"
+	"fmt"
+
+	"wivi/internal/motion"
+)
+
+// Message framing — the extension the paper sketches in §6.1: "Wi-Vi can
+// evolve by borrowing other existing principles and practices from
+// today's communication systems, such as adding a simple code to ensure
+// reliability, or reserving a certain pattern of '0's and '1's for
+// packet preambles."
+//
+// A frame is:
+//
+//	preamble (1011) | payload bits | even parity bit
+//
+// The preamble pattern cannot occur by accident at the frame start
+// (gesture errors are erasures, so a found preamble is trustworthy), and
+// the parity bit catches a single erased-then-resynchronized payload bit.
+
+// FramePreamble is the reserved start-of-frame pattern.
+var FramePreamble = []motion.Bit{motion.Bit1, motion.Bit0, motion.Bit1, motion.Bit1}
+
+// Errors returned by DeframeMessage.
+var (
+	ErrNoPreamble = errors.New("gesture: frame preamble not found")
+	ErrBadParity  = errors.New("gesture: frame parity check failed")
+	ErrShortFrame = errors.New("gesture: frame truncated")
+	ErrEmptyFrame = errors.New("gesture: empty payload")
+)
+
+// FrameMessage wraps payload bits with the preamble and an even parity
+// bit. The framed sequence is what the human performs.
+func FrameMessage(payload []motion.Bit) ([]motion.Bit, error) {
+	if len(payload) == 0 {
+		return nil, ErrEmptyFrame
+	}
+	out := make([]motion.Bit, 0, len(FramePreamble)+len(payload)+1)
+	out = append(out, FramePreamble...)
+	out = append(out, payload...)
+	out = append(out, parity(payload))
+	return out, nil
+}
+
+// DeframeMessage locates the preamble in decoded bits, strips it, checks
+// parity, and returns the payload. Leading stray bits (e.g. body-sway
+// artifacts decoded before the sender started) are skipped while
+// searching for the preamble.
+func DeframeMessage(bits []motion.Bit) ([]motion.Bit, error) {
+	start := findPreamble(bits)
+	if start < 0 {
+		return nil, ErrNoPreamble
+	}
+	rest := bits[start+len(FramePreamble):]
+	if len(rest) < 2 { // at least one payload bit + parity
+		return nil, ErrShortFrame
+	}
+	payload := rest[:len(rest)-1]
+	if parity(payload) != rest[len(rest)-1] {
+		return nil, fmt.Errorf("%w: payload %v", ErrBadParity, payload)
+	}
+	out := make([]motion.Bit, len(payload))
+	copy(out, payload)
+	return out, nil
+}
+
+// parity returns the even-parity bit of the payload.
+func parity(bits []motion.Bit) motion.Bit {
+	p := motion.Bit0
+	for _, b := range bits {
+		if b == motion.Bit1 {
+			p ^= 1
+		}
+	}
+	return p
+}
+
+// findPreamble returns the index of the first preamble occurrence, or -1.
+func findPreamble(bits []motion.Bit) int {
+	for i := 0; i+len(FramePreamble) <= len(bits); i++ {
+		match := true
+		for j, p := range FramePreamble {
+			if bits[i+j] != p {
+				match = false
+				break
+			}
+		}
+		if match {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,102 @@
+package gesture
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"wivi/internal/motion"
+	"wivi/internal/rng"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	payload := []motion.Bit{motion.Bit0, motion.Bit1, motion.Bit1}
+	framed, err := FrameMessage(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(framed) != len(FramePreamble)+len(payload)+1 {
+		t.Fatalf("framed length %d", len(framed))
+	}
+	got, err := DeframeMessage(framed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(payload) {
+		t.Fatalf("payload length %d", len(got))
+	}
+	for i := range payload {
+		if got[i] != payload[i] {
+			t.Fatalf("payload mismatch at %d", i)
+		}
+	}
+}
+
+// TestFrameRoundTripProperty: framing survives arbitrary payloads and
+// arbitrary leading stray bits that do not contain the preamble start.
+func TestFrameRoundTripProperty(t *testing.T) {
+	seed := int64(0)
+	f := func() bool {
+		s := rng.New(seed)
+		seed++
+		payload := make([]motion.Bit, 1+s.Intn(16))
+		for i := range payload {
+			payload[i] = motion.Bit(s.Intn(2))
+		}
+		framed, err := FrameMessage(payload)
+		if err != nil {
+			return false
+		}
+		// Prepend stray zeros (a run of 0s can never contain the 1011
+		// preamble).
+		stray := make([]motion.Bit, s.Intn(5))
+		framed = append(stray, framed...)
+		got, err := DeframeMessage(framed)
+		if err != nil {
+			return false
+		}
+		if len(got) != len(payload) {
+			return false
+		}
+		for i := range payload {
+			if got[i] != payload[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFrameValidation(t *testing.T) {
+	if _, err := FrameMessage(nil); !errors.Is(err, ErrEmptyFrame) {
+		t.Fatalf("empty payload err = %v", err)
+	}
+	if _, err := DeframeMessage([]motion.Bit{0, 0, 0}); !errors.Is(err, ErrNoPreamble) {
+		t.Fatalf("missing preamble err = %v", err)
+	}
+	if _, err := DeframeMessage(FramePreamble); !errors.Is(err, ErrShortFrame) {
+		t.Fatalf("truncated frame err = %v", err)
+	}
+}
+
+func TestFrameParityCatchesCorruption(t *testing.T) {
+	payload := []motion.Bit{motion.Bit1, motion.Bit0, motion.Bit1}
+	framed, _ := FrameMessage(payload)
+	// Flip one payload bit.
+	framed[len(FramePreamble)] ^= 1
+	if _, err := DeframeMessage(framed); !errors.Is(err, ErrBadParity) {
+		t.Fatalf("corrupted frame err = %v", err)
+	}
+}
+
+func TestParity(t *testing.T) {
+	if parity([]motion.Bit{1, 1}) != 0 {
+		t.Fatal("even ones -> parity 0")
+	}
+	if parity([]motion.Bit{1, 0, 0}) != 1 {
+		t.Fatal("odd ones -> parity 1")
+	}
+}

@@ -1,0 +1,275 @@
+// Package isar implements Wi-Vi's second core contribution: tracking
+// moving humans with a single receive antenna by treating the human's own
+// motion as an inverse synthetic aperture (§5).
+//
+// Consecutive channel samples h[n..n+w] are grouped into overlapping
+// windows and treated as an emulated antenna array with element spacing
+// Delta = 2 v T (twice the one-way motion per sample, accounting for the
+// round trip; §5.1). Two estimators of the angle-power function are
+// provided:
+//
+//   - Beamform: the standard antenna-array sum of Eq. 5.1,
+//     A[theta, n] = sum_i h[n+i] conj(e_theta(i)).
+//   - Smoothed MUSIC (Eq. 5.3): spatial smoothing over subarrays
+//     decorrelates the superimposed reflections of multiple humans, then
+//     the MUSIC pseudospectrum sharpens the angular peaks.
+//
+// Sign convention: theta is positive when the human moves toward the
+// device and negative when moving away, matching the paper. With the
+// simulator's e^{-j 2 pi d / lambda} propagation convention, an
+// approaching target's phase advances by +2 pi Delta / lambda per sample,
+// so the steering vector is e_theta(i) = e^{+j 2 pi i Delta sin(theta) /
+// lambda} and both estimators correlate against its conjugate — exactly
+// the sum printed in Eq. 5.3.
+package isar
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"wivi/internal/cmath"
+	"wivi/internal/dsp"
+)
+
+// Config parameterizes the ISAR processing chain. The defaults match the
+// prototype (§7.1): emulated arrays of w = 100 elements assembled over
+// 0.32 s (sample period 3.2 ms), assumed walking speed 1 m/s, and a
+// 2.4 GHz carrier (12.5 cm wavelength).
+type Config struct {
+	// Lambda is the carrier wavelength in meters.
+	Lambda float64
+	// SampleT is the channel sampling period in seconds.
+	SampleT float64
+	// Velocity is the assumed target speed in m/s (§5.1: errors in v
+	// distort the angle estimate but preserve its sign).
+	Velocity float64
+	// Window is the emulated array size w.
+	Window int
+	// Subarray is the spatial-smoothing subarray size w' (< Window).
+	Subarray int
+	// Hop is the window hop between consecutive frames, in samples.
+	Hop int
+	// ThetaStepDeg is the angle grid resolution over [-90, 90] degrees.
+	ThetaStepDeg float64
+	// MaxSources caps the estimated signal-subspace dimension (the DC
+	// counts as one source).
+	MaxSources int
+	// EigNoiseFactor: eigenvalues above EigNoiseFactor times the median
+	// eigenvalue are classified as signal. Default 8.
+	EigNoiseFactor float64
+}
+
+// DefaultConfig returns the prototype parameters.
+func DefaultConfig() Config {
+	return Config{
+		Lambda:         0.125,
+		SampleT:        0.0032,
+		Velocity:       1.0,
+		Window:         100,
+		Subarray:       32,
+		Hop:            25,
+		ThetaStepDeg:   1.0,
+		MaxSources:     5,
+		EigNoiseFactor: 8,
+	}
+}
+
+// Delta returns the emulated antenna spacing Delta = 2 v T (§5.1:
+// "Delta is twice the one-way separation to account for the round-trip").
+func (c Config) Delta() float64 { return 2 * c.Velocity * c.SampleT }
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.Lambda <= 0:
+		return errors.New("isar: Lambda must be positive")
+	case c.SampleT <= 0:
+		return errors.New("isar: SampleT must be positive")
+	case c.Velocity <= 0:
+		return errors.New("isar: Velocity must be positive")
+	case c.Window < 4:
+		return fmt.Errorf("isar: Window %d too small", c.Window)
+	case c.Subarray < 2 || c.Subarray > c.Window:
+		return fmt.Errorf("isar: Subarray %d must be in [2, Window]", c.Subarray)
+	case c.Hop < 1:
+		return fmt.Errorf("isar: Hop %d must be >= 1", c.Hop)
+	case c.ThetaStepDeg <= 0 || c.ThetaStepDeg > 45:
+		return fmt.Errorf("isar: ThetaStepDeg %v out of range", c.ThetaStepDeg)
+	case c.MaxSources < 1 || c.MaxSources >= c.Subarray:
+		return fmt.Errorf("isar: MaxSources %d must be in [1, Subarray)", c.MaxSources)
+	}
+	return nil
+}
+
+// SteeringVector returns the emulated-array response e_theta of length n
+// for spatial angle thetaRad: e_theta(i) = e^{+j 2 pi i Delta sin(theta) /
+// lambda}.
+func SteeringVector(n int, lambda, delta, thetaRad float64) cmath.Vector {
+	v := make(cmath.Vector, n)
+	phasePerElement := 2 * math.Pi * delta * math.Sin(thetaRad) / lambda
+	for i := 0; i < n; i++ {
+		v[i] = cmplx.Rect(1, phasePerElement*float64(i))
+	}
+	return v
+}
+
+// Processor precomputes the angle grid and steering vectors for a config.
+type Processor struct {
+	cfg       Config
+	thetasDeg []float64
+	// steerSub[t] is the steering vector on the subarray (for MUSIC).
+	steerSub []cmath.Vector
+	// steerWin[t] is the steering vector on the full window (for
+	// beamforming).
+	steerWin []cmath.Vector
+}
+
+// NewProcessor validates cfg and builds a processor.
+func NewProcessor(cfg Config) (*Processor, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	var thetas []float64
+	for th := -90.0; th <= 90.0+1e-9; th += cfg.ThetaStepDeg {
+		thetas = append(thetas, th)
+	}
+	p := &Processor{cfg: cfg, thetasDeg: thetas}
+	p.steerSub = make([]cmath.Vector, len(thetas))
+	p.steerWin = make([]cmath.Vector, len(thetas))
+	for i, th := range thetas {
+		rad := th * math.Pi / 180
+		p.steerSub[i] = SteeringVector(cfg.Subarray, cfg.Lambda, cfg.Delta(), rad)
+		p.steerWin[i] = SteeringVector(cfg.Window, cfg.Lambda, cfg.Delta(), rad)
+	}
+	return p, nil
+}
+
+// Thetas returns the processor's angle grid in degrees.
+func (p *Processor) Thetas() []float64 { return p.thetasDeg }
+
+// Config returns the processor configuration.
+func (p *Processor) Config() Config { return p.cfg }
+
+// SmoothedCorrelation computes the spatially-smoothed correlation matrix
+// of one window: the window is cut into overlapping subarrays of size w'
+// and their outer products are averaged (§5.2). The window length must be
+// at least the subarray size.
+func (p *Processor) SmoothedCorrelation(window []complex128) (*cmath.Matrix, error) {
+	w := p.cfg.Subarray
+	if len(window) < w {
+		return nil, fmt.Errorf("isar: window of %d samples shorter than subarray %d", len(window), w)
+	}
+	r := cmath.NewMatrix(w, w)
+	sub := make(cmath.Vector, w)
+	count := 0
+	for start := 0; start+w <= len(window); start++ {
+		copy(sub, window[start:start+w])
+		r.AddOuter(sub, sub)
+		count++
+	}
+	r.ScaleInPlace(complex(1/float64(count), 0))
+	return r, nil
+}
+
+// EstimateSignalDim classifies eigenvalues into signal and noise
+// subspaces: eigenvalues above EigNoiseFactor times the median are
+// signal. At least one signal dimension is returned (the DC), and the
+// result is capped so at least two noise eigenvectors remain.
+func (p *Processor) EstimateSignalDim(values []float64) int {
+	n := len(values)
+	med := dsp.Median(values)
+	if med <= 0 {
+		med = 1e-300
+	}
+	dim := 0
+	for _, v := range values {
+		if v > p.cfg.EigNoiseFactor*med {
+			dim++
+		}
+	}
+	if dim < 1 {
+		dim = 1
+	}
+	if dim > p.cfg.MaxSources {
+		dim = p.cfg.MaxSources
+	}
+	if dim > n-2 {
+		dim = n - 2
+	}
+	return dim
+}
+
+// MUSICSpectrum evaluates the MUSIC pseudospectrum (Eq. 5.3) for the
+// given noise-subspace basis on the processor's angle grid. The result is
+// normalized so its minimum is 1.
+func (p *Processor) MUSICSpectrum(noise []cmath.Vector) []float64 {
+	out := make([]float64, len(p.thetasDeg))
+	for ti, steer := range p.steerSub {
+		var denom float64
+		for _, u := range noise {
+			// |steer^H u|^2 — the projection of the steering vector on
+			// one noise eigenvector.
+			d := steer.Dot(u)
+			denom += real(d)*real(d) + imag(d)*imag(d)
+		}
+		if denom < 1e-18 {
+			denom = 1e-18
+		}
+		out[ti] = 1 / denom
+	}
+	normalizeMin1(out)
+	return out
+}
+
+// BartlettSpectrum evaluates the power-bearing Bartlett spectrum
+// P(theta) = e^H R e / w' over the angle grid for a smoothed correlation
+// matrix R. Unlike the MUSIC pseudospectrum it retains absolute power
+// units, which the human-counting statistic needs (more movers put more
+// power across more angles, §5.2).
+func (p *Processor) BartlettSpectrum(r *cmath.Matrix) []float64 {
+	out := make([]float64, len(p.thetasDeg))
+	inv := 1 / float64(p.cfg.Subarray)
+	for ti, steer := range p.steerSub {
+		rv := r.MulVec(steer)
+		out[ti] = real(steer.Dot(rv)) * inv
+		if out[ti] < 0 {
+			out[ti] = 0
+		}
+	}
+	return out
+}
+
+// BeamformSpectrum evaluates |A[theta]|^2 of Eq. 5.1 for one window on
+// the processor's angle grid, normalized so its minimum is 1.
+func (p *Processor) BeamformSpectrum(window []complex128) ([]float64, error) {
+	if len(window) < p.cfg.Window {
+		return nil, fmt.Errorf("isar: window of %d samples shorter than Window %d", len(window), p.cfg.Window)
+	}
+	out := make([]float64, len(p.thetasDeg))
+	for ti, steer := range p.steerWin {
+		var acc complex128
+		for i := 0; i < p.cfg.Window; i++ {
+			acc += window[i] * cmplx.Conj(steer[i])
+		}
+		out[ti] = real(acc)*real(acc) + imag(acc)*imag(acc)
+	}
+	normalizeMin1(out)
+	return out, nil
+}
+
+func normalizeMin1(x []float64) {
+	min := math.Inf(1)
+	for _, v := range x {
+		if v < min {
+			min = v
+		}
+	}
+	if min <= 0 || math.IsInf(min, 1) {
+		return
+	}
+	for i := range x {
+		x[i] /= min
+	}
+}

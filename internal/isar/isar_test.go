@@ -1,0 +1,167 @@
+package isar
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"wivi/internal/cmath"
+	"wivi/internal/dsp"
+	"wivi/internal/rng"
+)
+
+// synthTarget produces the channel of an ideal point target moving with
+// the given radial speed toward (+) or away from (-) the device:
+// h[n] = amp * e^{+j 2 pi * 2 v T n / lambda} (our propagation convention:
+// approaching -> phase advances), plus optional DC and noise.
+func synthTarget(n int, cfg Config, radialSpeed, amp float64, dc complex128, noisePwr float64, seed int64) []complex128 {
+	s := rng.New(seed)
+	h := make([]complex128, n)
+	for i := 0; i < n; i++ {
+		phase := 2 * math.Pi * 2 * radialSpeed * cfg.SampleT * float64(i) / cfg.Lambda
+		h[i] = cmplx.Rect(amp, phase) + dc
+		if noisePwr > 0 {
+			h[i] += s.ComplexGaussian(noisePwr)
+		}
+	}
+	return h
+}
+
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Window = 64
+	cfg.Subarray = 24
+	cfg.Hop = 16
+	return cfg
+}
+
+func peakTheta(spec, thetas []float64) float64 {
+	return thetas[dsp.Argmax(spec)]
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := []Config{
+		{Lambda: 0, SampleT: 1, Velocity: 1, Window: 10, Subarray: 4, Hop: 1, ThetaStepDeg: 1, MaxSources: 2},
+		{Lambda: 1, SampleT: 0, Velocity: 1, Window: 10, Subarray: 4, Hop: 1, ThetaStepDeg: 1, MaxSources: 2},
+		{Lambda: 1, SampleT: 1, Velocity: 0, Window: 10, Subarray: 4, Hop: 1, ThetaStepDeg: 1, MaxSources: 2},
+		{Lambda: 1, SampleT: 1, Velocity: 1, Window: 2, Subarray: 2, Hop: 1, ThetaStepDeg: 1, MaxSources: 1},
+		{Lambda: 1, SampleT: 1, Velocity: 1, Window: 10, Subarray: 20, Hop: 1, ThetaStepDeg: 1, MaxSources: 2},
+		{Lambda: 1, SampleT: 1, Velocity: 1, Window: 10, Subarray: 4, Hop: 0, ThetaStepDeg: 1, MaxSources: 2},
+		{Lambda: 1, SampleT: 1, Velocity: 1, Window: 10, Subarray: 4, Hop: 1, ThetaStepDeg: 0, MaxSources: 2},
+		{Lambda: 1, SampleT: 1, Velocity: 1, Window: 10, Subarray: 4, Hop: 1, ThetaStepDeg: 1, MaxSources: 9},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestDeltaIsTwiceOneWaySpacing(t *testing.T) {
+	cfg := DefaultConfig()
+	want := 2 * cfg.Velocity * cfg.SampleT
+	if cfg.Delta() != want {
+		t.Fatalf("Delta = %v, want %v", cfg.Delta(), want)
+	}
+}
+
+func TestSteeringVectorStructure(t *testing.T) {
+	v := SteeringVector(8, 0.125, 0.0064, math.Pi/6) // sin=0.5
+	if len(v) != 8 {
+		t.Fatalf("length %d", len(v))
+	}
+	if cmplx.Abs(v[0]-1) > 1e-12 {
+		t.Fatalf("v[0] = %v, want 1", v[0])
+	}
+	// Element-to-element phase increment = 2 pi Delta sin(theta)/lambda.
+	wantInc := 2 * math.Pi * 0.0064 * 0.5 / 0.125
+	for i := 1; i < len(v); i++ {
+		inc := cmplx.Phase(v[i] * cmplx.Conj(v[i-1]))
+		if math.Abs(inc-wantInc) > 1e-9 {
+			t.Fatalf("phase increment %v, want %v", inc, wantInc)
+		}
+	}
+	// theta = 0 gives a constant vector (the DC direction).
+	z := SteeringVector(8, 0.125, 0.0064, 0)
+	for _, x := range z {
+		if cmplx.Abs(x-1) > 1e-12 {
+			t.Fatal("zero-angle steering not constant")
+		}
+	}
+}
+
+func TestBeamformPeaksAtApproachingTarget(t *testing.T) {
+	cfg := testConfig()
+	p, err := NewProcessor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Target approaching at the assumed speed: theta = +90.
+	h := synthTarget(cfg.Window, cfg, cfg.Velocity, 1, 0, 0, 1)
+	spec, err := p.BeamformSpectrum(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if th := peakTheta(spec, p.Thetas()); th < 80 {
+		t.Fatalf("approaching target peak at %v deg, want ~+90", th)
+	}
+	// Receding target: theta = -90.
+	h = synthTarget(cfg.Window, cfg, -cfg.Velocity, 1, 0, 0, 2)
+	spec, _ = p.BeamformSpectrum(h)
+	if th := peakTheta(spec, p.Thetas()); th > -80 {
+		t.Fatalf("receding target peak at %v deg, want ~-90", th)
+	}
+}
+
+func TestBeamformIntermediateAngle(t *testing.T) {
+	cfg := testConfig()
+	p, _ := NewProcessor(cfg)
+	// Radial speed v*sin(30 deg) = 0.5 m/s -> theta = +30.
+	h := synthTarget(cfg.Window, cfg, 0.5*cfg.Velocity, 1, 0, 0, 3)
+	spec, _ := p.BeamformSpectrum(h)
+	th := peakTheta(spec, p.Thetas())
+	if math.Abs(th-30) > 4 {
+		t.Fatalf("peak at %v deg, want ~30", th)
+	}
+}
+
+func TestMUSICSharperThanBeamforming(t *testing.T) {
+	cfg := testConfig()
+	p, _ := NewProcessor(cfg)
+	h := synthTarget(cfg.Window, cfg, 0.5*cfg.Velocity, 1, 0, 1e-4, 4)
+	bf, err := p.BeamformSpectrum(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := p.SmoothedCorrelation(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eig, err := cmath.HermitianEig(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dim := p.EstimateSignalDim(eig.Values)
+	mu := p.MUSICSpectrum(eig.NoiseSubspace(dim))
+	// Peak position agreement.
+	thBF := peakTheta(bf, p.Thetas())
+	thMU := peakTheta(mu, p.Thetas())
+	if math.Abs(thBF-thMU) > 5 {
+		t.Fatalf("beamform peak %v vs MUSIC peak %v", thBF, thMU)
+	}
+	// MUSIC is a super-resolution technique: its peak-to-median dynamic
+	// range should exceed beamforming's (§5.2).
+	drBF := dsp.DB(maxOf(bf) / dsp.Median(bf))
+	drMU := dsp.DB(maxOf(mu) / dsp.Median(mu))
+	if drMU <= drBF {
+		t.Fatalf("MUSIC dynamic range %.1f dB <= beamforming %.1f dB", drMU, drBF)
+	}
+}
+
+func maxOf(x []float64) float64 {
+	_, m := dsp.MinMax(x)
+	return m
+}

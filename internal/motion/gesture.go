@@ -1,0 +1,149 @@
+package motion
+
+import (
+	"fmt"
+
+	"wivi/internal/geom"
+	"wivi/internal/rng"
+)
+
+// StepDirection identifies one half of a gesture: a step toward the Wi-Vi
+// device or a step away from it (§6.1).
+type StepDirection int
+
+const (
+	// StepForward moves the subject toward the device.
+	StepForward StepDirection = iota
+	// StepBackward moves the subject away from the device.
+	StepBackward
+)
+
+// String renders the direction.
+func (d StepDirection) String() string {
+	if d == StepForward {
+		return "forward"
+	}
+	return "backward"
+}
+
+// GestureParams describes how one subject performs gesture steps. The
+// paper's defaults: step sizes of 2-3 feet, ~2.2 s per two-step gesture
+// with 0.4 s std-dev across subjects (§7.5).
+type GestureParams struct {
+	// StepLen is the step length in meters (typical 0.6-0.9, i.e. 2-3 ft).
+	StepLen float64
+	// StepDur is the duration of a single step in seconds.
+	StepDur float64
+	// InterStepPause is the pause between the two steps of one gesture.
+	InterStepPause float64
+	// InterGesturePause separates consecutive gestures (bits).
+	InterGesturePause float64
+	// BackwardShrink scales backward steps: stepping backward is harder,
+	// so humans take smaller backward steps (§7.5 — this is why bit '1'
+	// has lower SNR than bit '0').
+	BackwardShrink float64
+}
+
+// DefaultGestureParams returns the nominal subject.
+func DefaultGestureParams() GestureParams {
+	return GestureParams{
+		StepLen:           0.75,
+		StepDur:           0.95,
+		InterStepPause:    0.15,
+		InterGesturePause: 0.8,
+		BackwardShrink:    0.8,
+	}
+}
+
+// RandomizeGestureParams perturbs the defaults to model a specific
+// subject (different heights and builds, §7.2).
+func RandomizeGestureParams(s *rng.Stream) GestureParams {
+	p := DefaultGestureParams()
+	p.StepLen = s.Uniform(0.6, 0.9)
+	p.StepDur = s.Uniform(0.8, 1.15)
+	p.InterStepPause = s.Uniform(0.1, 0.25)
+	p.InterGesturePause = s.Uniform(0.6, 1.1)
+	p.BackwardShrink = s.Uniform(0.7, 0.9)
+	return p
+}
+
+// GestureDuration returns the nominal duration of one two-step gesture.
+func (p GestureParams) GestureDuration() float64 {
+	return 2*p.StepDur + p.InterStepPause
+}
+
+// Bit is one gesture-encoded bit.
+type Bit int
+
+// Bit values per §6.1: a '0' is a step forward then a step backward; a
+// '1' is a step backward then a step forward (Manchester-like encoding).
+const (
+	Bit0 Bit = 0
+	Bit1 Bit = 1
+)
+
+// Steps returns the two step directions encoding the bit.
+func (b Bit) Steps() [2]StepDirection {
+	if b == Bit0 {
+		return [2]StepDirection{StepForward, StepBackward}
+	}
+	return [2]StepDirection{StepBackward, StepForward}
+}
+
+// NewGestureTrajectory builds the trajectory of a subject standing at
+// base who transmits the given bits by stepping along dir (a unit vector
+// pointing from the subject *toward the device*; if the subject does not
+// know where the device is, dir may be slanted as in Fig. 6-2(c)).
+// leadIn seconds of standing still precede the first gesture.
+func NewGestureTrajectory(base geom.Point, dir geom.Vec, bits []Bit, p GestureParams, leadIn float64) (*Waypoint, error) {
+	if dir.Len() == 0 {
+		return nil, fmt.Errorf("motion: gesture direction must be non-zero")
+	}
+	u := dir.Unit()
+	times := []float64{0}
+	points := []geom.Point{base}
+	t := leadIn
+	if t > 0 {
+		times = append(times, t)
+		points = append(points, base)
+	}
+	cur := base
+	appendMove := func(target geom.Point, dur float64) {
+		t += dur
+		times = append(times, t)
+		points = append(points, target)
+		cur = target
+	}
+	for _, b := range bits {
+		for i, step := range b.Steps() {
+			stepLen := p.StepLen
+			if step == StepBackward {
+				stepLen *= p.BackwardShrink
+			}
+			var target geom.Point
+			if step == StepForward {
+				target = cur.Add(u.Scale(stepLen))
+			} else {
+				target = cur.Add(u.Scale(-stepLen))
+			}
+			appendMove(target, p.StepDur)
+			if i == 0 && p.InterStepPause > 0 {
+				appendMove(cur, p.InterStepPause)
+			}
+		}
+		if p.InterGesturePause > 0 {
+			appendMove(cur, p.InterGesturePause)
+		}
+	}
+	// Tail: hold position briefly so decoders see the gesture end.
+	appendMove(cur, 0.5)
+	return NewWaypoint(times, points)
+}
+
+// MessageDuration estimates how long transmitting the bits takes,
+// including the lead-in. The paper reports ~8.8 s for a 4-gesture
+// message (§1.2).
+func MessageDuration(bits int, p GestureParams, leadIn float64) float64 {
+	per := p.GestureDuration() + p.InterGesturePause
+	return leadIn + float64(bits)*per + 0.5
+}

@@ -1,0 +1,107 @@
+package motion
+
+import (
+	"math"
+
+	"wivi/internal/geom"
+	"wivi/internal/rng"
+)
+
+// Jitter wraps a base trajectory with body micro-motion: the torso sways
+// and limbs move in a loosely coupled way, which is why tracking lines in
+// the paper's figures are fuzzy (§7.3: "a human can move his body parts
+// differently as he moves"). The jitter is an Ornstein-Uhlenbeck process
+// pre-sampled on a fixed grid so that At stays pure.
+type Jitter struct {
+	base Trajectory
+	dt   float64
+	dx   []float64
+	dy   []float64
+}
+
+// JitterConfig parameterizes body micro-motion.
+type JitterConfig struct {
+	// AmpMeters is the RMS sway amplitude (typical 0.02-0.06 m).
+	AmpMeters float64
+	// CorrTime is the correlation time of the sway in seconds.
+	CorrTime float64
+	// SampleDT is the internal sampling resolution. Default 0.02 s.
+	SampleDT float64
+}
+
+// DefaultJitter returns torso-scale micro-motion.
+func DefaultJitter() JitterConfig {
+	return JitterConfig{AmpMeters: 0.03, CorrTime: 0.5, SampleDT: 0.02}
+}
+
+// LimbJitter returns the larger, faster micro-motion of a swinging limb.
+func LimbJitter() JitterConfig {
+	return JitterConfig{AmpMeters: 0.12, CorrTime: 0.25, SampleDT: 0.02}
+}
+
+// NewJitter wraps base with micro-motion over its whole duration
+// (plus padding seconds beyond it).
+func NewJitter(base Trajectory, cfg JitterConfig, padding float64, s *rng.Stream) *Jitter {
+	if cfg.SampleDT <= 0 {
+		cfg.SampleDT = 0.02
+	}
+	if cfg.CorrTime <= 0 {
+		cfg.CorrTime = 0.5
+	}
+	dur := base.Duration() + padding
+	n := int(dur/cfg.SampleDT) + 2
+	j := &Jitter{base: base, dt: cfg.SampleDT, dx: make([]float64, n), dy: make([]float64, n)}
+	// Ornstein-Uhlenbeck: x' = -x/tau + sqrt(2/tau)*amp*noise
+	alpha := cfg.SampleDT / cfg.CorrTime
+	if alpha > 1 {
+		alpha = 1
+	}
+	sigma := cfg.AmpMeters * math.Sqrt(2*alpha)
+	var x, y float64
+	for i := 0; i < n; i++ {
+		x += -alpha*x + sigma*s.Norm()
+		y += -alpha*y + sigma*s.Norm()
+		j.dx[i] = x
+		j.dy[i] = y
+	}
+	return j
+}
+
+// At implements Trajectory: base position plus interpolated sway.
+func (j *Jitter) At(t float64) geom.Point {
+	p := j.base.At(t)
+	if t < 0 {
+		t = 0
+	}
+	idx := t / j.dt
+	i := int(idx)
+	if i >= len(j.dx)-1 {
+		i = len(j.dx) - 2
+	}
+	frac := idx - float64(i)
+	if frac < 0 {
+		frac = 0
+	} else if frac > 1 {
+		frac = 1
+	}
+	return geom.Point{
+		X: p.X + j.dx[i]*(1-frac) + j.dx[i+1]*frac,
+		Y: p.Y + j.dy[i]*(1-frac) + j.dy[i+1]*frac,
+	}
+}
+
+// Duration implements Trajectory.
+func (j *Jitter) Duration() float64 { return j.base.Duration() }
+
+// Offset shifts a base trajectory by a constant displacement; used to
+// model limbs hanging off the torso trajectory.
+type Offset struct {
+	Base Trajectory
+	D    geom.Vec
+}
+
+// At implements Trajectory.
+func (o Offset) At(t float64) geom.Point { return o.Base.At(t).Add(o.D) }
+
+// Duration implements Trajectory.
+func (o Offset) Duration() float64 { return o.Base.Duration() }

@@ -1,0 +1,74 @@
+package motion
+
+import (
+	"fmt"
+	"math"
+
+	"wivi/internal/geom"
+	"wivi/internal/rng"
+)
+
+// NewRobotPath generates the trajectory of a cleaning-robot-style mover
+// (§5.1 fn. 1: "we have successfully experimented with tracking an
+// iRobot Create robot"): straight runs at constant speed, bouncing off
+// the room walls at randomized angles, with no body sway — a rigid
+// target, unlike human walkers.
+func NewRobotPath(s *rng.Stream, room geom.Rect, speed, duration float64) (*Waypoint, error) {
+	if speed <= 0 {
+		return nil, fmt.Errorf("motion: robot speed must be positive, got %v", speed)
+	}
+	if duration <= 0 {
+		return nil, fmt.Errorf("motion: robot duration must be positive, got %v", duration)
+	}
+	area := room.Shrink(0.25)
+	pos := geom.Point{
+		X: s.Uniform(area.Min.X, area.Max.X),
+		Y: s.Uniform(area.Min.Y, area.Max.Y),
+	}
+	heading := s.Uniform(0, 2*math.Pi)
+	times := []float64{0}
+	points := []geom.Point{pos}
+	t := 0.0
+	for t < duration {
+		dir := geom.Vec{X: math.Cos(heading), Y: math.Sin(heading)}
+		// Distance to the nearest wall along the heading.
+		step := distanceToWall(pos, dir, area)
+		if step < 0.1 {
+			// Stuck against a wall: bounce with a fresh random heading.
+			heading = s.Uniform(0, 2*math.Pi)
+			continue
+		}
+		// Run up to the wall (or a capped leg length).
+		if step > 4 {
+			step = 4
+		}
+		pos = area.Clamp(pos.Add(dir.Scale(step)))
+		t += step / speed
+		times = append(times, t)
+		points = append(points, pos)
+		// Bounce: reflect with up to 45 degrees of randomization, like the
+		// robot's bump-and-turn behavior.
+		heading += math.Pi + s.Uniform(-math.Pi/4, math.Pi/4)
+	}
+	return NewWaypoint(times, points)
+}
+
+// distanceToWall returns how far p can travel along unit direction d
+// before leaving the rectangle.
+func distanceToWall(p geom.Point, d geom.Vec, r geom.Rect) float64 {
+	best := math.Inf(1)
+	if d.X > 1e-12 {
+		best = math.Min(best, (r.Max.X-p.X)/d.X)
+	} else if d.X < -1e-12 {
+		best = math.Min(best, (r.Min.X-p.X)/d.X)
+	}
+	if d.Y > 1e-12 {
+		best = math.Min(best, (r.Max.Y-p.Y)/d.Y)
+	} else if d.Y < -1e-12 {
+		best = math.Min(best, (r.Min.Y-p.Y)/d.Y)
+	}
+	if math.IsInf(best, 1) || best < 0 {
+		return 0
+	}
+	return best
+}

@@ -1,0 +1,76 @@
+package motion
+
+import (
+	"math"
+	"testing"
+
+	"wivi/internal/geom"
+	"wivi/internal/rng"
+)
+
+func TestRobotPathStaysInRoom(t *testing.T) {
+	room := geom.NewRect(geom.Point{X: 0, Y: 0}, geom.Point{X: 6, Y: 4})
+	w, err := NewRobotPath(rng.New(3), room, 0.3, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Duration() < 20 {
+		t.Fatalf("robot path too short: %v s", w.Duration())
+	}
+	for tt := 0.0; tt < 20; tt += 0.2 {
+		if p := w.At(tt); !room.Contains(p) {
+			t.Fatalf("robot escaped at t=%v: %v", tt, p)
+		}
+	}
+}
+
+func TestRobotPathConstantSpeed(t *testing.T) {
+	room := geom.NewRect(geom.Point{X: 0, Y: 0}, geom.Point{X: 6, Y: 4})
+	w, err := NewRobotPath(rng.New(5), room, 0.3, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mid-leg velocities must equal the configured speed.
+	samples := 0
+	for tt := 0.5; tt < 14; tt += 0.5 {
+		v := w.Velocity(tt).Len()
+		if v == 0 {
+			continue // waypoint boundary
+		}
+		samples++
+		if math.Abs(v-0.3) > 0.02 {
+			t.Fatalf("robot speed %v at t=%v, want 0.3", v, tt)
+		}
+	}
+	if samples < 10 {
+		t.Fatalf("too few velocity samples: %d", samples)
+	}
+}
+
+func TestRobotPathValidation(t *testing.T) {
+	room := geom.NewRect(geom.Point{}, geom.Point{X: 4, Y: 4})
+	if _, err := NewRobotPath(rng.New(1), room, 0, 10); err == nil {
+		t.Fatal("zero speed accepted")
+	}
+	if _, err := NewRobotPath(rng.New(1), room, 0.3, 0); err == nil {
+		t.Fatal("zero duration accepted")
+	}
+}
+
+func TestDistanceToWall(t *testing.T) {
+	r := geom.NewRect(geom.Point{}, geom.Point{X: 4, Y: 4})
+	d := distanceToWall(geom.Point{X: 2, Y: 2}, geom.Vec{X: 1, Y: 0}, r)
+	if math.Abs(d-2) > 1e-12 {
+		t.Fatalf("distance = %v, want 2", d)
+	}
+	d = distanceToWall(geom.Point{X: 2, Y: 2}, geom.Vec{X: 0, Y: -1}, r)
+	if math.Abs(d-2) > 1e-12 {
+		t.Fatalf("distance down = %v", d)
+	}
+	// Diagonal.
+	diag := geom.Vec{X: 1, Y: 1}.Unit()
+	d = distanceToWall(geom.Point{X: 3, Y: 3}, diag, r)
+	if math.Abs(d-math.Sqrt2) > 1e-9 {
+		t.Fatalf("diagonal distance = %v", d)
+	}
+}

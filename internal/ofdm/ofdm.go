@@ -1,0 +1,160 @@
+// Package ofdm implements the Wi-Fi OFDM physical layer the Wi-Vi
+// prototype transmits (§7.1): 64-subcarrier symbols with a cyclic prefix,
+// known BPSK preambles, per-subcarrier channel estimation, and the
+// cross-subcarrier combining step that improves the tracking SNR.
+package ofdm
+
+import (
+	"fmt"
+	"math/cmplx"
+
+	"wivi/internal/dsp"
+	"wivi/internal/rng"
+)
+
+// Standard Wi-Fi OFDM parameters.
+const (
+	// NumSubcarriers is the FFT size: 64 subcarriers including the DC
+	// (§7.1: "each OFDM symbol consists of 64 subcarriers including the
+	// DC").
+	NumSubcarriers = 64
+	// CyclicPrefixLen is the guard interval in samples (802.11 uses 16).
+	CyclicPrefixLen = 16
+	// SymbolLen is the total time-domain symbol length.
+	SymbolLen = NumSubcarriers + CyclicPrefixLen
+)
+
+// Preamble is a known frequency-domain training symbol used for channel
+// estimation. The DC subcarrier is nulled, as in 802.11 and as required
+// for the estimation divide.
+type Preamble struct {
+	// Freq holds the frequency-domain symbol, Freq[k] for k in
+	// [0, NumSubcarriers). Index 0 is the DC bin and is always zero.
+	Freq []complex128
+}
+
+// NewPreamble generates a deterministic BPSK preamble from the seed.
+func NewPreamble(seed int64) *Preamble {
+	s := rng.New(seed)
+	f := make([]complex128, NumSubcarriers)
+	for k := 1; k < NumSubcarriers; k++ {
+		if s.Float64() < 0.5 {
+			f[k] = 1
+		} else {
+			f[k] = -1
+		}
+	}
+	return &Preamble{Freq: f}
+}
+
+// ActiveBins returns the indices of non-nulled subcarriers.
+func (p *Preamble) ActiveBins() []int {
+	var bins []int
+	for k, v := range p.Freq {
+		if v != 0 {
+			bins = append(bins, k)
+		}
+	}
+	return bins
+}
+
+// Modulate converts a frequency-domain symbol into the time-domain
+// waveform with cyclic prefix.
+func Modulate(freq []complex128) ([]complex128, error) {
+	if len(freq) != NumSubcarriers {
+		return nil, fmt.Errorf("ofdm: Modulate needs %d bins, got %d", NumSubcarriers, len(freq))
+	}
+	td := dsp.IFFT(freq)
+	out := make([]complex128, SymbolLen)
+	copy(out, td[NumSubcarriers-CyclicPrefixLen:])
+	copy(out[CyclicPrefixLen:], td)
+	return out, nil
+}
+
+// Demodulate strips the cyclic prefix and returns the frequency-domain
+// symbol.
+func Demodulate(td []complex128) ([]complex128, error) {
+	if len(td) != SymbolLen {
+		return nil, fmt.Errorf("ofdm: Demodulate needs %d samples, got %d", SymbolLen, len(td))
+	}
+	return dsp.FFT(td[CyclicPrefixLen:]), nil
+}
+
+// ApplyChannelFlat applies a per-subcarrier channel h[k] to a
+// frequency-domain symbol (the standard OFDM flat-per-subcarrier model).
+func ApplyChannelFlat(freq, h []complex128) ([]complex128, error) {
+	if len(freq) != len(h) {
+		return nil, fmt.Errorf("ofdm: channel length %d != symbol length %d", len(h), len(freq))
+	}
+	out := make([]complex128, len(freq))
+	for k := range freq {
+		out[k] = freq[k] * h[k]
+	}
+	return out, nil
+}
+
+// EstimateChannel computes per-subcarrier channel estimates h[k] =
+// rx[k]/tx[k] over the preamble's active bins; nulled bins estimate to 0.
+func EstimateChannel(rx []complex128, p *Preamble) ([]complex128, error) {
+	if len(rx) != len(p.Freq) {
+		return nil, fmt.Errorf("ofdm: EstimateChannel rx length %d != %d", len(rx), len(p.Freq))
+	}
+	h := make([]complex128, len(rx))
+	for k, x := range p.Freq {
+		if x == 0 {
+			continue
+		}
+		h[k] = rx[k] / x
+	}
+	return h, nil
+}
+
+// CombineSubcarriers coherently combines per-subcarrier channel time
+// series into one stream, improving SNR (§7.1: "The channel measurements
+// across the different subcarriers are combined to improve the SNR").
+//
+// hs[k][n] is the channel of subcarrier k at time n; bins may be nil (the
+// DC bin). Because the signal bandwidth (5 MHz) is tiny relative to the
+// 2.4 GHz carrier, the motion-induced phase evolution is essentially
+// identical across subcarriers; each subcarrier differs only by a static
+// phase offset determined by the path delays. The combiner aligns each
+// subcarrier to the reference subcarrier using the time-averaged
+// cross-phase, then averages.
+func CombineSubcarriers(hs [][]complex128) ([]complex128, error) {
+	var active [][]complex128
+	for _, h := range hs {
+		if len(h) > 0 {
+			active = append(active, h)
+		}
+	}
+	if len(active) == 0 {
+		return nil, fmt.Errorf("ofdm: CombineSubcarriers needs at least one subcarrier")
+	}
+	n := len(active[0])
+	for _, h := range active {
+		if len(h) != n {
+			return nil, fmt.Errorf("ofdm: CombineSubcarriers ragged input")
+		}
+	}
+	ref := active[len(active)/2]
+	out := make([]complex128, n)
+	for _, h := range active {
+		// Time-averaged cross-correlation phase against the reference.
+		var x complex128
+		for i := 0; i < n; i++ {
+			x += h[i] * cmplx.Conj(ref[i])
+		}
+		rot := complex(1, 0)
+		if m := cmplx.Abs(x); m > 0 {
+			rot = cmplx.Conj(x / complex(m, 0))
+		}
+		for i := 0; i < n; i++ {
+			out[i] += h[i] * rot
+		}
+	}
+	inv := complex(1/float64(len(active)), 0)
+	for i := range out {
+		out[i] *= inv
+	}
+	return out, nil
+}

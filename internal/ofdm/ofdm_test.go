@@ -1,0 +1,186 @@
+package ofdm
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"wivi/internal/rng"
+)
+
+func TestPreambleStructure(t *testing.T) {
+	p := NewPreamble(1)
+	if len(p.Freq) != NumSubcarriers {
+		t.Fatalf("preamble length %d", len(p.Freq))
+	}
+	if p.Freq[0] != 0 {
+		t.Fatal("DC bin must be nulled")
+	}
+	for k := 1; k < NumSubcarriers; k++ {
+		if p.Freq[k] != 1 && p.Freq[k] != -1 {
+			t.Fatalf("bin %d = %v, want BPSK", k, p.Freq[k])
+		}
+	}
+	if len(p.ActiveBins()) != NumSubcarriers-1 {
+		t.Fatalf("active bins = %d", len(p.ActiveBins()))
+	}
+}
+
+func TestPreambleDeterminism(t *testing.T) {
+	a := NewPreamble(7)
+	b := NewPreamble(7)
+	c := NewPreamble(8)
+	diff := 0
+	for k := range a.Freq {
+		if a.Freq[k] != b.Freq[k] {
+			t.Fatal("same seed produced different preambles")
+		}
+		if a.Freq[k] != c.Freq[k] {
+			diff++
+		}
+	}
+	if diff < 10 {
+		t.Fatal("different seeds produced near-identical preambles")
+	}
+}
+
+func TestModulateDemodulateRoundTrip(t *testing.T) {
+	p := NewPreamble(3)
+	td, err := Modulate(p.Freq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(td) != SymbolLen {
+		t.Fatalf("symbol length %d", len(td))
+	}
+	// Cyclic prefix property: first CP samples replicate the tail.
+	for i := 0; i < CyclicPrefixLen; i++ {
+		if cmplx.Abs(td[i]-td[NumSubcarriers+i]) > 1e-12 {
+			t.Fatalf("cyclic prefix broken at %d", i)
+		}
+	}
+	rx, err := Demodulate(td)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range p.Freq {
+		if cmplx.Abs(rx[k]-p.Freq[k]) > 1e-9 {
+			t.Fatalf("round trip bin %d: %v vs %v", k, rx[k], p.Freq[k])
+		}
+	}
+}
+
+func TestModulateValidatesLength(t *testing.T) {
+	if _, err := Modulate(make([]complex128, 32)); err == nil {
+		t.Fatal("wrong-length modulate accepted")
+	}
+	if _, err := Demodulate(make([]complex128, 10)); err == nil {
+		t.Fatal("wrong-length demodulate accepted")
+	}
+}
+
+func TestChannelEstimationRecovers(t *testing.T) {
+	p := NewPreamble(5)
+	s := rng.New(11)
+	h := make([]complex128, NumSubcarriers)
+	for k := 1; k < NumSubcarriers; k++ {
+		h[k] = complex(s.Gaussian(0, 1), s.Gaussian(0, 1))
+	}
+	rx, err := ApplyChannelFlat(p.Freq, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := EstimateChannel(rx, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k < NumSubcarriers; k++ {
+		if cmplx.Abs(est[k]-h[k]) > 1e-9 {
+			t.Fatalf("bin %d estimate %v, want %v", k, est[k], h[k])
+		}
+	}
+	if est[0] != 0 {
+		t.Fatal("DC estimate should be zero")
+	}
+}
+
+func TestApplyChannelFlatValidates(t *testing.T) {
+	if _, err := ApplyChannelFlat(make([]complex128, 64), make([]complex128, 32)); err == nil {
+		t.Fatal("mismatched channel accepted")
+	}
+	if _, err := EstimateChannel(make([]complex128, 32), NewPreamble(1)); err == nil {
+		t.Fatal("mismatched estimate accepted")
+	}
+}
+
+func TestCombineSubcarriersCoherentGain(t *testing.T) {
+	// K subcarriers observing the same motion signal with different static
+	// phases plus independent noise: combining must raise SNR.
+	const k = 16
+	const n = 400
+	s := rng.New(21)
+	signal := make([]complex128, n)
+	for i := range signal {
+		signal[i] = cmplx.Rect(1, 2*math.Pi*0.01*float64(i))
+	}
+	const noisePwr = 0.5
+	hs := make([][]complex128, k)
+	for j := 0; j < k; j++ {
+		rot := s.UnitPhasor()
+		hs[j] = make([]complex128, n)
+		for i := 0; i < n; i++ {
+			hs[j][i] = signal[i]*rot + s.ComplexGaussian(noisePwr)
+		}
+	}
+	combined, err := CombineSubcarriers(hs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Residual error vs the (rotated) clean signal: align combined to
+	// signal first, then measure error power.
+	var x complex128
+	for i := 0; i < n; i++ {
+		x += combined[i] * cmplx.Conj(signal[i])
+	}
+	rot := x / complex(cmplx.Abs(x), 0)
+	var errPwr float64
+	for i := 0; i < n; i++ {
+		e := combined[i] - signal[i]*rot
+		errPwr += real(e)*real(e) + imag(e)*imag(e)
+	}
+	errPwr /= n
+	// Perfect combining of k subcarriers divides noise by k. Allow 3x
+	// slack for alignment estimation error.
+	if errPwr > 3*noisePwr/float64(k) {
+		t.Fatalf("combined noise %v, want <= %v", errPwr, 3*noisePwr/float64(k))
+	}
+}
+
+func TestCombineSubcarriersSkipsNilAndValidates(t *testing.T) {
+	a := []complex128{1, 2, 3}
+	combined, err := CombineSubcarriers([][]complex128{nil, a, nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if cmplx.Abs(combined[i]-a[i]) > 1e-12 {
+			t.Fatalf("single-subcarrier combine altered data: %v", combined)
+		}
+	}
+	if _, err := CombineSubcarriers(nil); err == nil {
+		t.Fatal("empty combine accepted")
+	}
+	if _, err := CombineSubcarriers([][]complex128{{1}, {1, 2}}); err == nil {
+		t.Fatal("ragged combine accepted")
+	}
+}
+
+func BenchmarkModulate(b *testing.B) {
+	p := NewPreamble(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Modulate(p.Freq); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

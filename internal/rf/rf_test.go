@@ -1,0 +1,227 @@
+package rf
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"wivi/internal/geom"
+)
+
+func TestTable41MatchesPaper(t *testing.T) {
+	// Table 4.1 of the paper, verbatim.
+	want := map[string]float64{
+		"Glass":                   3,
+		`1.75" Solid Wood Door`:   6,
+		`Interior Hollow Wall 6"`: 9,
+		`Concrete Wall 18"`:       18,
+		"Reinforced Concrete":     40,
+	}
+	if len(Table41) != len(want) {
+		t.Fatalf("Table41 has %d rows, want %d", len(Table41), len(want))
+	}
+	for _, m := range Table41 {
+		w, ok := want[m.Name]
+		if !ok {
+			t.Errorf("unexpected material %q", m.Name)
+			continue
+		}
+		if m.OneWayDB != w {
+			t.Errorf("%s attenuation = %v dB, want %v dB", m.Name, m.OneWayDB, w)
+		}
+	}
+}
+
+func TestMaterialTransmission(t *testing.T) {
+	// 9 dB one-way -> amplitude factor 10^{-9/20}.
+	got := HollowWall.TransmissionAmp()
+	want := math.Pow(10, -9.0/20)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("TransmissionAmp = %v, want %v", got, want)
+	}
+	if HollowWall.TwoWayDB() != 18 {
+		t.Fatalf("TwoWayDB = %v", HollowWall.TwoWayDB())
+	}
+	if FreeSpace.TransmissionAmp() != 1 {
+		t.Fatal("free space must not attenuate")
+	}
+}
+
+func TestMaterialOrderingForFig76(t *testing.T) {
+	// The §7.6 study requires a strict hardness ordering:
+	// free space < glass < wood < hollow < concrete (two-way dB).
+	mats := EvaluationMaterials
+	for i := 1; i < len(mats); i++ {
+		if mats[i].TwoWayDB() <= mats[i-1].TwoWayDB() {
+			t.Fatalf("material ordering violated: %s (%v dB) <= %s (%v dB)",
+				mats[i].Name, mats[i].TwoWayDB(), mats[i-1].Name, mats[i-1].TwoWayDB())
+		}
+	}
+}
+
+func TestWavelengthISM(t *testing.T) {
+	lambda := Wavelength(ISMCenterHz)
+	// The paper quotes 12.5 cm for 2.4 GHz signals.
+	if math.Abs(lambda-0.125) > 0.001 {
+		t.Fatalf("lambda = %v m, want ~0.125 m", lambda)
+	}
+}
+
+func TestSubcarrierFreq(t *testing.T) {
+	f0 := SubcarrierFreq(ISMCenterHz, DefaultBandwidthHz, 0, 64)
+	if f0 != ISMCenterHz {
+		t.Fatalf("center subcarrier freq = %v", f0)
+	}
+	fHi := SubcarrierFreq(ISMCenterHz, DefaultBandwidthHz, 31, 64)
+	fLo := SubcarrierFreq(ISMCenterHz, DefaultBandwidthHz, -32, 64)
+	if fHi <= f0 || fLo >= f0 {
+		t.Fatal("subcarrier ordering wrong")
+	}
+	if math.Abs((fHi-fLo)-DefaultBandwidthHz*63/64) > 1 {
+		t.Fatalf("span = %v", fHi-fLo)
+	}
+}
+
+func TestAntennaPattern(t *testing.T) {
+	a := NewDirectional(geom.Point{X: 0, Y: 0}, geom.Vec{X: 0, Y: 1})
+	front := a.PowerGainDBToward(geom.Point{X: 0, Y: 5})
+	if math.Abs(front-6) > 1e-9 {
+		t.Fatalf("boresight gain = %v, want 6 dBi", front)
+	}
+	// Half-power beamwidth: at theta = HPBW the parabolic model gives
+	// GainDBi - 12 dB... at theta = HPBW/2 it gives -3 dB.
+	side := a.PowerGainDBToward(geom.Point{X: math.Tan(geom.Deg2Rad(35)) * 5, Y: 5})
+	if math.Abs(side-(6-3)) > 0.2 {
+		t.Fatalf("gain at half HPBW = %v, want ~3 dB", side)
+	}
+	back := a.PowerGainDBToward(geom.Point{X: 0, Y: -5})
+	if math.Abs(back-(6-20)) > 1e-9 {
+		t.Fatalf("back gain = %v, want -14 (front-to-back clamp)", back)
+	}
+	// Zero-distance degenerate case.
+	if g := a.PowerGainDBToward(a.Pos); g != a.GainDBi {
+		t.Fatalf("gain at own position = %v", g)
+	}
+}
+
+func TestOmniAntenna(t *testing.T) {
+	a := NewOmni(geom.Point{})
+	for _, p := range []geom.Point{{X: 1}, {X: -1}, {Y: -3}, {X: 2, Y: 2}} {
+		if g := a.PowerGainDBToward(p); g != 0 {
+			t.Fatalf("omni gain = %v toward %v", g, p)
+		}
+	}
+}
+
+func TestPathChannelPhase(t *testing.T) {
+	lambda := 0.125
+	p := Path{Length: lambda, Amp: 2}
+	h := p.Channel(lambda)
+	// One full wavelength -> phase -2pi -> back to positive real.
+	if math.Abs(real(h)-2) > 1e-9 || math.Abs(imag(h)) > 1e-9 {
+		t.Fatalf("Channel = %v, want 2+0i", h)
+	}
+	q := Path{Length: lambda / 2, Amp: 1}
+	hq := q.Channel(lambda)
+	if math.Abs(real(hq)+1) > 1e-9 {
+		t.Fatalf("half-wavelength channel = %v, want -1", hq)
+	}
+}
+
+func TestSumChannelsLinearity(t *testing.T) {
+	lambda := 0.125
+	paths := []Path{{Length: 1, Amp: 1}, {Length: 2, Amp: 0.5}}
+	got := SumChannels(paths, lambda)
+	want := paths[0].Channel(lambda) + paths[1].Channel(lambda)
+	if cmplx.Abs(got-want) > 1e-12 {
+		t.Fatalf("SumChannels = %v, want %v", got, want)
+	}
+}
+
+func TestDirectPathInverseDistance(t *testing.T) {
+	lambda := Wavelength(ISMCenterHz)
+	tx := NewOmni(geom.Point{X: 0, Y: 0})
+	rx1 := NewOmni(geom.Point{X: 0, Y: 2})
+	rx2 := NewOmni(geom.Point{X: 0, Y: 4})
+	p1 := DirectPath(tx, rx1, lambda, 1)
+	p2 := DirectPath(tx, rx2, lambda, 1)
+	if ratio := p1.Amp / p2.Amp; math.Abs(ratio-2) > 1e-9 {
+		t.Fatalf("LOS amplitude ratio = %v, want 2 (1/d law)", ratio)
+	}
+	if p1.Length != 2 || p2.Length != 4 {
+		t.Fatalf("path lengths %v, %v", p1.Length, p2.Length)
+	}
+}
+
+func TestScatterPathInverseD4Power(t *testing.T) {
+	// Radar equation: power falls as 1/d^4 for a monostatic geometry, so
+	// amplitude falls as 1/d^2.
+	lambda := Wavelength(ISMCenterHz)
+	dev := NewOmni(geom.Point{X: 0, Y: 0})
+	p1 := ScatterPath(dev, dev, geom.Point{X: 0, Y: 3}, lambda, 1, 1)
+	p2 := ScatterPath(dev, dev, geom.Point{X: 0, Y: 6}, lambda, 1, 1)
+	if ratio := p1.Amp / p2.Amp; math.Abs(ratio-4) > 1e-9 {
+		t.Fatalf("scatter amplitude ratio = %v, want 4 (1/d^2 law)", ratio)
+	}
+	if p1.Length != 6 {
+		t.Fatalf("round-trip length = %v, want 6", p1.Length)
+	}
+}
+
+func TestFlashDominatesHumanReflection(t *testing.T) {
+	// Core premise of §4: the wall flash is vastly stronger than the
+	// reflection from a human behind the wall. Check the modeled gap is in
+	// the right ballpark (tens of dB).
+	lambda := Wavelength(ISMCenterHz)
+	tx := NewDirectional(geom.Point{X: -0.3, Y: -1}, geom.Vec{X: 0, Y: 1})
+	rx := NewDirectional(geom.Point{X: 0.3, Y: -1}, geom.Vec{X: 0, Y: 1})
+	wallY := 0.0
+	flash := MirrorPath(tx, rx, wallY, lambda, HollowWall.Reflectivity)
+	human := ScatterPath(tx, rx, geom.Point{X: 0, Y: 4}, lambda, 1.0,
+		TwoWayTransmission(HollowWall))
+	gapDB := 20 * math.Log10(flash.Amp/human.Amp)
+	if gapDB < 18 || gapDB > 80 {
+		t.Fatalf("flash-to-human gap = %.1f dB, want within [18, 80] (paper: 18-36 dB wall "+
+			"attenuation alone, plus cross-section and spreading)", gapDB)
+	}
+}
+
+func TestMirrorPathGeometry(t *testing.T) {
+	lambda := Wavelength(ISMCenterHz)
+	tx := NewOmni(geom.Point{X: -1, Y: -1})
+	rx := NewOmni(geom.Point{X: 1, Y: -1})
+	p := MirrorPath(tx, rx, 0, lambda, 1)
+	// Unfolded distance: |(-1,-1) -> (1,1)| = 2*sqrt(2).
+	want := 2 * math.Sqrt2
+	if math.Abs(p.Length-want) > 1e-9 {
+		t.Fatalf("mirror path length = %v, want %v", p.Length, want)
+	}
+}
+
+func TestFreeSpacePathLossDB(t *testing.T) {
+	lambda := Wavelength(ISMCenterHz)
+	// Doubling distance adds ~6 dB.
+	l1 := FreeSpacePathLossDB(5, lambda)
+	l2 := FreeSpacePathLossDB(10, lambda)
+	if math.Abs((l2-l1)-6.02) > 0.1 {
+		t.Fatalf("doubling distance added %v dB, want ~6", l2-l1)
+	}
+	// Near-field clamp keeps the loss finite.
+	if l := FreeSpacePathLossDB(0, lambda); math.IsInf(l, -1) || math.IsNaN(l) {
+		t.Fatal("near-field loss not clamped")
+	}
+}
+
+func TestMinRangeClamp(t *testing.T) {
+	lambda := Wavelength(ISMCenterHz)
+	tx := NewOmni(geom.Point{})
+	rx := NewOmni(geom.Point{})
+	p := DirectPath(tx, rx, lambda, 1)
+	if math.IsInf(p.Amp, 1) || math.IsNaN(p.Amp) {
+		t.Fatal("zero-distance direct path must be clamped")
+	}
+	s := ScatterPath(tx, rx, geom.Point{}, lambda, 1, 1)
+	if math.IsInf(s.Amp, 1) || math.IsNaN(s.Amp) {
+		t.Fatal("zero-distance scatter path must be clamped")
+	}
+}

@@ -1,0 +1,155 @@
+// Package sdr models the software-radio front end of the Wi-Vi prototype
+// (USRP N210 with SBX daughterboards, §7.1): a transmitter with a limited
+// linear range, a receiver with thermal noise and adjustable gain, and an
+// N-bit ADC whose saturation is the root cause of the "flash effect".
+//
+// Amplitudes are tracked in normalized linear units; the calibration in
+// internal/sim maps them onto the paper's operating point (20 mW linear
+// transmit range vs. Wi-Fi's 100 mW limit, 12 dB nulling boost).
+package sdr
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"wivi/internal/rng"
+)
+
+// ADC is an N-bit quantizer with saturation. Real and imaginary parts are
+// quantized independently, as in an I/Q receiver.
+type ADC struct {
+	// Bits is the resolution per I/Q rail (the USRP N210 digitizes at
+	// 14 bits; effective resolution after the FPGA chain is ~12).
+	Bits int
+	// FullScale is the maximum representable amplitude per rail. Inputs
+	// beyond it clip.
+	FullScale float64
+}
+
+// NewADC returns an ADC with the given resolution and full-scale.
+func NewADC(bits int, fullScale float64) (ADC, error) {
+	if bits < 2 || bits > 24 {
+		return ADC{}, fmt.Errorf("sdr: ADC bits %d out of range [2,24]", bits)
+	}
+	if fullScale <= 0 {
+		return ADC{}, fmt.Errorf("sdr: ADC full scale must be positive, got %v", fullScale)
+	}
+	return ADC{Bits: bits, FullScale: fullScale}, nil
+}
+
+// LSB returns the quantization step.
+func (a ADC) LSB() float64 {
+	return a.FullScale / float64(int64(1)<<(a.Bits-1))
+}
+
+// DynamicRangeDB returns the quantization dynamic range (6.02 dB/bit).
+func (a ADC) DynamicRangeDB() float64 { return 6.02 * float64(a.Bits) }
+
+// Quantize digitizes one complex sample. The second return reports
+// whether either rail saturated.
+func (a ADC) Quantize(x complex128) (complex128, bool) {
+	re, clipRe := a.quantizeRail(real(x))
+	im, clipIm := a.quantizeRail(imag(x))
+	return complex(re, im), clipRe || clipIm
+}
+
+func (a ADC) quantizeRail(v float64) (float64, bool) {
+	lsb := a.LSB()
+	maxCode := float64(int64(1)<<(a.Bits-1)) - 1
+	code := math.Round(v / lsb)
+	clipped := false
+	if code > maxCode {
+		code = maxCode
+		clipped = true
+	} else if code < -maxCode-1 {
+		code = -maxCode - 1
+		clipped = true
+	}
+	return code * lsb, clipped
+}
+
+// QuantizeVec digitizes a block of samples, returning the digitized block
+// and the number of saturated samples.
+func (a ADC) QuantizeVec(x []complex128) ([]complex128, int) {
+	out := make([]complex128, len(x))
+	clipped := 0
+	for i, v := range x {
+		q, c := a.Quantize(v)
+		out[i] = q
+		if c {
+			clipped++
+		}
+	}
+	return out, clipped
+}
+
+// Transmitter models the USRP transmit chain: output amplitude is linear
+// up to MaxAmp and hard-clips beyond it (§7.5: the USRP linear transmit
+// range is ~20 mW; beyond it the signal starts being clipped).
+type Transmitter struct {
+	// MaxAmp is the maximum linear output amplitude.
+	MaxAmp float64
+}
+
+// Output clips the requested amplitude into the linear range; the second
+// return reports whether clipping occurred.
+func (t Transmitter) Output(x complex128) (complex128, bool) {
+	m := cmplx.Abs(x)
+	if m <= t.MaxAmp || m == 0 {
+		return x, false
+	}
+	scale := complex(t.MaxAmp/m, 0)
+	return x * scale, true
+}
+
+// Receiver models the receive chain: a gain stage, additive complex
+// Gaussian thermal noise, and the ADC.
+type Receiver struct {
+	// GainDB is the receive amplifier gain applied before the ADC. After
+	// nulling, Wi-Vi raises this gain without saturating (§4.1.2 fn).
+	GainDB float64
+	// NoisePower is the thermal noise power (variance of the complex
+	// noise) referred to the receiver input.
+	NoisePower float64
+	// ADC digitizes the amplified signal.
+	ADC ADC
+}
+
+// Capture amplifies the incoming complex amplitude, adds noise and
+// digitizes. It returns the digitized sample and whether the ADC clipped.
+func (r Receiver) Capture(signal complex128, noise *rng.Stream) (complex128, bool) {
+	g := complex(math.Pow(10, r.GainDB/20), 0)
+	n := noise.ComplexGaussian(r.NoisePower)
+	return r.ADC.Quantize(g * (signal + n))
+}
+
+// CaptureAveraged captures m independent looks at the same signal and
+// averages them, modeling preamble repetition during channel estimation.
+// It returns the averaged digitized value, normalized back to the
+// receiver input (gain removed), plus the fraction of looks that clipped.
+func (r Receiver) CaptureAveraged(signal complex128, m int, noise *rng.Stream) (complex128, float64) {
+	if m < 1 {
+		m = 1
+	}
+	var acc complex128
+	clipped := 0
+	for i := 0; i < m; i++ {
+		y, c := r.Capture(signal, noise)
+		acc += y
+		if c {
+			clipped++
+		}
+	}
+	g := complex(math.Pow(10, r.GainDB/20), 0)
+	return acc / (complex(float64(m), 0) * g), float64(clipped) / float64(m)
+}
+
+// InputSNRdB returns the SNR of a signal with the given power at the
+// receiver input.
+func (r Receiver) InputSNRdB(signalPower float64) float64 {
+	if signalPower <= 0 || r.NoisePower <= 0 {
+		return -300
+	}
+	return 10 * math.Log10(signalPower/r.NoisePower)
+}

@@ -1,0 +1,184 @@
+package sdr
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+
+	"wivi/internal/rng"
+)
+
+func TestNewADCValidation(t *testing.T) {
+	if _, err := NewADC(1, 1); err == nil {
+		t.Fatal("1-bit ADC accepted")
+	}
+	if _, err := NewADC(12, 0); err == nil {
+		t.Fatal("zero full-scale accepted")
+	}
+	if _, err := NewADC(12, 1); err != nil {
+		t.Fatalf("valid ADC rejected: %v", err)
+	}
+}
+
+func TestADCQuantizeExact(t *testing.T) {
+	a, _ := NewADC(4, 8) // LSB = 1
+	if a.LSB() != 1 {
+		t.Fatalf("LSB = %v", a.LSB())
+	}
+	q, clip := a.Quantize(complex(3.4, -2.6))
+	if clip {
+		t.Fatal("unexpected clip")
+	}
+	if real(q) != 3 || imag(q) != -3 {
+		t.Fatalf("Quantize = %v", q)
+	}
+}
+
+func TestADCSaturation(t *testing.T) {
+	a, _ := NewADC(4, 8)
+	q, clip := a.Quantize(complex(100, 0))
+	if !clip {
+		t.Fatal("saturation not reported")
+	}
+	if real(q) != 7 { // max code 2^{3}-1 = 7 at LSB 1
+		t.Fatalf("clipped value %v, want 7", real(q))
+	}
+	qn, clipN := a.Quantize(complex(-100, 0))
+	if !clipN || real(qn) != -8 {
+		t.Fatalf("negative clip %v (clip=%v), want -8", real(qn), clipN)
+	}
+}
+
+// TestADCQuantizationErrorBound: within the linear range, the error is at
+// most LSB/2 per rail.
+func TestADCQuantizationErrorBound(t *testing.T) {
+	a, _ := NewADC(10, 1)
+	half := a.LSB() / 2
+	f := func(re, im float64) bool {
+		// Map arbitrary floats into the linear range.
+		re = math.Mod(re, 0.9)
+		im = math.Mod(im, 0.9)
+		if math.IsNaN(re) || math.IsNaN(im) {
+			return true
+		}
+		q, clip := a.Quantize(complex(re, im))
+		if clip {
+			return false
+		}
+		return math.Abs(real(q)-re) <= half+1e-12 && math.Abs(imag(q)-im) <= half+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestADCDynamicRange(t *testing.T) {
+	a, _ := NewADC(12, 1)
+	if dr := a.DynamicRangeDB(); math.Abs(dr-72.24) > 0.1 {
+		t.Fatalf("dynamic range = %v dB", dr)
+	}
+}
+
+func TestQuantizeVecCounts(t *testing.T) {
+	a, _ := NewADC(4, 1)
+	in := []complex128{0, complex(0.5, 0), complex(10, 0), complex(0, -10)}
+	out, clipped := a.QuantizeVec(in)
+	if len(out) != len(in) {
+		t.Fatal("length mismatch")
+	}
+	if clipped != 2 {
+		t.Fatalf("clipped = %d, want 2", clipped)
+	}
+}
+
+func TestTransmitterLinearRange(t *testing.T) {
+	tx := Transmitter{MaxAmp: 2}
+	y, clip := tx.Output(complex(1, 1))
+	if clip || y != complex(1, 1) {
+		t.Fatal("in-range output altered")
+	}
+	y, clip = tx.Output(complex(30, 40))
+	if !clip {
+		t.Fatal("over-range output not clipped")
+	}
+	if math.Abs(cmplx.Abs(y)-2) > 1e-12 {
+		t.Fatalf("clipped magnitude = %v, want 2", cmplx.Abs(y))
+	}
+	// Phase preserved under clipping.
+	if math.Abs(cmplx.Phase(y)-cmplx.Phase(complex(30, 40))) > 1e-12 {
+		t.Fatal("clipping altered phase")
+	}
+	if z, c := tx.Output(0); c || z != 0 {
+		t.Fatal("zero output mishandled")
+	}
+}
+
+func TestReceiverCaptureStatistics(t *testing.T) {
+	adc, _ := NewADC(14, 10)
+	r := Receiver{GainDB: 0, NoisePower: 0.01, ADC: adc}
+	noise := rng.New(1)
+	const n = 5000
+	var acc complex128
+	for i := 0; i < n; i++ {
+		y, clip := r.Capture(complex(1, 0), noise)
+		if clip {
+			t.Fatal("unexpected clipping")
+		}
+		acc += y
+	}
+	mean := acc / n
+	if cmplx.Abs(mean-1) > 0.02 {
+		t.Fatalf("captured mean = %v, want ~1", mean)
+	}
+}
+
+func TestReceiverGainSaturatesADC(t *testing.T) {
+	// The flash-effect mechanism: a strong static signal saturates the ADC
+	// once the gain is raised; after nulling the same gain is safe.
+	adc, _ := NewADC(12, 1)
+	r := Receiver{GainDB: 30, NoisePower: 1e-10, ADC: adc}
+	noise := rng.New(2)
+	_, clip := r.Capture(complex(0.5, 0), noise) // 0.5 * 31.6 >> 1
+	if !clip {
+		t.Fatal("strong signal with high gain must saturate")
+	}
+	_, clip = r.Capture(complex(1e-5, 0), noise) // nulled residual: fine
+	if clip {
+		t.Fatal("weak signal should not saturate")
+	}
+}
+
+func TestCaptureAveragedReducesNoise(t *testing.T) {
+	adc, _ := NewADC(14, 10)
+	r := Receiver{GainDB: 0, NoisePower: 0.1, ADC: adc}
+	varOf := func(m int, seed int64) float64 {
+		noise := rng.New(seed)
+		const trials = 400
+		var sum, sq float64
+		for i := 0; i < trials; i++ {
+			y, _ := r.CaptureAveraged(0, m, noise)
+			v := real(y)
+			sum += v
+			sq += v * v
+		}
+		mean := sum / trials
+		return sq/trials - mean*mean
+	}
+	v1 := varOf(1, 3)
+	v16 := varOf(16, 4)
+	if v16 >= v1/8 {
+		t.Fatalf("averaging 16 looks reduced variance only %vx", v1/v16)
+	}
+}
+
+func TestInputSNRdB(t *testing.T) {
+	adc, _ := NewADC(12, 1)
+	r := Receiver{NoisePower: 0.01, ADC: adc}
+	if snr := r.InputSNRdB(1); math.Abs(snr-20) > 1e-9 {
+		t.Fatalf("SNR = %v, want 20", snr)
+	}
+	if snr := r.InputSNRdB(0); snr != -300 {
+		t.Fatalf("zero-signal SNR = %v", snr)
+	}
+}

@@ -1,0 +1,452 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"wivi/internal/geom"
+	"wivi/internal/rf"
+	"wivi/internal/rng"
+	"wivi/internal/sdr"
+)
+
+// Device is the simulated 3-antenna Wi-Vi radio: two transmit antennas
+// and one receive antenna on a bar one meter in front of the wall (§7.3),
+// all directional and pointed through the wall (§3.1).
+//
+// Device implements the measurement interfaces the cores consume:
+// nulling.Sounder (MeasureSingle / MeasureCombined) and the tracking
+// capture used by core.Device.
+type Device struct {
+	// Tx1, Tx2, Rx are the antennas.
+	Tx1, Tx2, Rx rf.Antenna
+	// Cal is the calibration (hardware operating point).
+	Cal Calibration
+
+	scene   *Scene
+	lambdas []float64 // per-subcarrier wavelengths
+	lambda0 float64   // center wavelength
+	noise   *rng.Stream
+	adc     sdr.ADC
+	tx      sdr.Transmitter
+
+	// static per-antenna, per-subcarrier channel sums (geometry frozen).
+	static [2][]complex128
+	// nullTime freezes the moving scene during nulling (t = 0).
+	nullTime float64
+	// stage1Gain is the AGC gain used for un-nulled sounding; computed
+	// lazily from the strongest static channel.
+	stage1Gain float64
+	// oscPhase is the oscillator phase-noise state (OU process).
+	oscPhase float64
+}
+
+// DeviceConfig positions the device.
+type DeviceConfig struct {
+	// Standoff is the distance from the wall in meters. Default 1 (§7.3).
+	Standoff float64
+	// AntennaSpacing separates the two transmit antennas (the receive
+	// antenna sits roughly midway). Default 0.7 m.
+	AntennaSpacing float64
+	// StandoffStagger offsets the second transmit antenna's standoff. A
+	// perfectly symmetric layout is degenerate: the two flash channels
+	// become identical, the precoder converges to p = -1, and the null
+	// then also suppresses any mover on the symmetry axis. Physical rigs
+	// are never symmetric; the default 0.094 m (~3 lambda/4) keeps the
+	// flash-phase difference near pi so movers are never co-nulled.
+	StandoffStagger float64
+	// RxOffset shifts the receive antenna off the midline (same
+	// asymmetry rationale). Default 0.05 m.
+	RxOffset float64
+	// Seed drives the device's noise stream.
+	Seed int64
+}
+
+// NewDevice builds a device in front of the scene's wall.
+func NewDevice(sc *Scene, cal Calibration, cfg DeviceConfig) (*Device, error) {
+	if err := cal.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Standoff == 0 {
+		cfg.Standoff = 1
+	}
+	if cfg.Standoff < 0 {
+		return nil, fmt.Errorf("sim: negative standoff %v", cfg.Standoff)
+	}
+	if cfg.AntennaSpacing == 0 {
+		cfg.AntennaSpacing = 0.7
+	}
+	if cfg.AntennaSpacing <= 0 {
+		return nil, fmt.Errorf("sim: non-positive antenna spacing %v", cfg.AntennaSpacing)
+	}
+	if cfg.StandoffStagger == 0 {
+		cfg.StandoffStagger = 0.094
+	}
+	if cfg.RxOffset == 0 {
+		cfg.RxOffset = 0.05
+	}
+	y := sc.WallY - cfg.Standoff
+	up := geom.Vec{X: 0, Y: 1}
+	d := &Device{
+		Tx1:   rf.NewDirectional(geom.Point{X: -cfg.AntennaSpacing / 2, Y: y}, up),
+		Tx2:   rf.NewDirectional(geom.Point{X: +cfg.AntennaSpacing / 2, Y: y + cfg.StandoffStagger}, up),
+		Rx:    rf.NewDirectional(geom.Point{X: cfg.RxOffset, Y: y}, up),
+		Cal:   cal,
+		scene: sc,
+		noise: rng.DeriveSeed(cfg.Seed^sc.Seed, "device-noise"),
+	}
+	adc, err := sdr.NewADC(cal.ADCBits, cal.ADCFullScale)
+	if err != nil {
+		return nil, err
+	}
+	d.adc = adc
+	d.tx = sdr.Transmitter{MaxAmp: cal.TxMaxAmp}
+	d.lambda0 = rf.Wavelength(cal.CenterHz)
+	for k := 0; k < cal.NumSubcarriers; k++ {
+		// Center the simulated bins across the band.
+		idx := k - cal.NumSubcarriers/2
+		f := rf.SubcarrierFreq(cal.CenterHz, cal.BandwidthHz, idx, cal.NumSubcarriers)
+		d.lambdas = append(d.lambdas, rf.Wavelength(f))
+	}
+	d.static[0] = d.computeStatic(1)
+	d.static[1] = d.computeStatic(2)
+	return d, nil
+}
+
+// Scene returns the scene the device observes.
+func (d *Device) Scene() *Scene { return d.scene }
+
+// Pos returns the device reference position (the receive antenna).
+func (d *Device) Pos() geom.Point { return d.Rx.Pos }
+
+// Wavelength returns the center carrier wavelength.
+func (d *Device) Wavelength() float64 { return d.lambda0 }
+
+// SampleT returns the tracking sample period.
+func (d *Device) SampleT() float64 { return d.Cal.SampleT }
+
+// NumSubcarriers returns the number of simulated subcarriers.
+func (d *Device) NumSubcarriers() int { return d.Cal.NumSubcarriers }
+
+// NoiseFloor returns the expected noise power of one subcarrier-combined
+// tracking sample — what a real receiver measures with the transmitter
+// off, referred to the same normalized units as Capture's output (which
+// divides by the boosted transmit amplitude). The counting statistic
+// anchors its energy scale to it.
+func (d *Device) NoiseFloor() float64 {
+	boostPower := math.Pow(10, d.Cal.BoostDB/10)
+	return d.Cal.NoisePower / float64(d.Cal.TrackAverages) /
+		float64(d.Cal.NumSubcarriers) / boostPower
+}
+
+func (d *Device) txAntenna(ant int) rf.Antenna {
+	if ant == 1 {
+		return d.Tx1
+	}
+	return d.Tx2
+}
+
+// computeStatic sums all static paths for one transmit antenna across
+// subcarriers: the direct Tx->Rx leak, the wall flash, a back-wall
+// reflection, and the static clutter.
+func (d *Device) computeStatic(ant int) []complex128 {
+	txa := d.txAntenna(ant)
+	out := make([]complex128, len(d.lambdas))
+	for k, lambda := range d.lambdas {
+		var h complex128
+		// Direct leakage between the antennas (attenuated by the
+		// directional patterns, §4.1).
+		h += rf.DirectPath(txa, d.Rx, lambda, 1).Channel(lambda)
+		if d.scene.HasWall() {
+			// The flash: specular reflection off the wall face.
+			h += rf.MirrorPath(txa, d.Rx, d.scene.WallY, lambda, d.scene.Wall.Reflectivity).Channel(lambda)
+			// Back wall of the room: weaker mirror behind two wall
+			// traversals.
+			h += rf.MirrorPath(txa, d.Rx, d.scene.Room.Max.Y, lambda,
+				0.4*d.scene.TwoWayWallAmp()).Channel(lambda)
+		}
+		for _, c := range d.scene.Clutter {
+			extra := 1.0
+			if c.BehindWall {
+				extra = d.scene.TwoWayWallAmp()
+			}
+			h += rf.ScatterPath(txa, d.Rx, c.Pos, lambda, c.RCS, extra).Channel(lambda)
+		}
+		out[k] = h
+	}
+	return out
+}
+
+// sideWallReflectivity scales the indoor multipath bounces off the
+// room's side walls (image method). These indirect returns matter beyond
+// realism: each bounce path has a different Tx1/Tx2 geometry, so the
+// MIMO null can never suppress a mover's direct and indirect returns
+// simultaneously — multipath is what keeps the paper's "invisible
+// trajectory" loci (§5.1 fn. 5) measure-zero in practice.
+const sideWallReflectivity = 0.35
+
+// movingChannels returns the per-subcarrier channel contribution of all
+// humans at time t for one transmit antenna: the direct through-wall
+// return of every body part plus its side-wall bounce images. The path
+// geometry is computed once per scatterer and replayed across
+// subcarriers.
+func (d *Device) movingChannels(ant int, t float64) []complex128 {
+	txa := d.txAntenna(ant)
+	out := make([]complex128, len(d.lambdas))
+	wallAmp := d.scene.TwoWayWallAmp()
+	addPath := func(pos geom.Point, rcs, extra float64) {
+		p0 := rf.ScatterPath(txa, d.Rx, pos, d.lambda0, rcs, extra)
+		for k, lambda := range d.lambdas {
+			amp := p0.Amp * lambda / d.lambda0
+			out[k] += rf.Path{Length: p0.Length, Amp: amp}.Channel(lambda)
+		}
+	}
+	east := d.scene.Room.Max.X
+	west := d.scene.Room.Min.X
+	addScatter := func(pos geom.Point, rcs float64) {
+		addPath(pos, rcs, wallAmp)
+		// Side-wall bounce images (one reflection each).
+		addPath(geom.Point{X: 2*east - pos.X, Y: pos.Y}, rcs, wallAmp*sideWallReflectivity)
+		addPath(geom.Point{X: 2*west - pos.X, Y: pos.Y}, rcs, wallAmp*sideWallReflectivity)
+	}
+	for _, h := range d.scene.Humans {
+		for _, part := range h.Parts {
+			addScatter(part.Traj.At(t), part.RCS)
+		}
+	}
+	return out
+}
+
+// channelAt returns the full per-subcarrier channel for one transmit
+// antenna at time t.
+func (d *Device) channelAt(ant int, t float64) []complex128 {
+	mov := d.movingChannels(ant, t)
+	st := d.static[ant-1]
+	for k := range mov {
+		mov[k] += st[k]
+	}
+	return mov
+}
+
+// ensureStage1Gain computes the AGC gain that places the strongest
+// un-nulled channel at AGCTargetFrac of ADC full scale.
+func (d *Device) ensureStage1Gain() float64 {
+	if d.stage1Gain > 0 {
+		return d.stage1Gain
+	}
+	peak := 0.0
+	for ant := 1; ant <= 2; ant++ {
+		for _, h := range d.channelAt(ant, d.nullTime) {
+			if a := cAbs(h) * d.Cal.TxRefAmp; a > peak {
+				peak = a
+			}
+		}
+	}
+	if peak <= 0 {
+		peak = 1e-12
+	}
+	d.stage1Gain = d.Cal.AGCTargetFrac * d.Cal.ADCFullScale / peak
+	d.stage1Gain = d.capGain(d.stage1Gain)
+	return d.stage1Gain
+}
+
+// capGain limits the receive gain so amplified noise stays below 1/8 of
+// ADC full scale (the LNA/AGC ceiling; after nulling the chain is
+// noise-limited, not quantization-limited, matching §4.1.2).
+func (d *Device) capGain(g float64) float64 {
+	sigma := math.Sqrt(d.Cal.NoisePower)
+	if sigma <= 0 {
+		return g
+	}
+	if max := d.Cal.ADCFullScale / (8 * sigma); g > max {
+		return max
+	}
+	return g
+}
+
+// phaseJitter advances the oscillator phase-noise state by one tracking
+// sample and returns the snapshot's common rotation (shared by all
+// subcarriers of that snapshot). The OU dynamics put the noise power at
+// low frequencies, inside the human Doppler band.
+func (d *Device) phaseJitter() complex128 {
+	if d.Cal.PhaseNoiseStd <= 0 {
+		return 1
+	}
+	tau := d.Cal.PhaseNoiseTau
+	if tau <= 0 {
+		tau = 0.3
+	}
+	alpha := d.Cal.SampleT / tau
+	if alpha > 1 {
+		alpha = 1
+	}
+	step := d.Cal.PhaseNoiseStd * math.Sqrt(2*alpha)
+	d.oscPhase += -alpha*d.oscPhase + step*d.noise.Norm()
+	return complex(math.Cos(d.oscPhase), math.Sin(d.oscPhase))
+}
+
+// captureEstimate models one averaged, gained, quantized measurement of a
+// complex signal amplitude: the signal is rotated by the snapshot's
+// oscillator phase jitter, the averaged noise is drawn directly (the
+// average of `avg` i.i.d. complex Gaussian samples), then the ADC
+// quantizes the gained value. Returns the estimate referred to the
+// receiver input, plus the saturation flag.
+func (d *Device) captureEstimate(signal, jitter complex128, gain float64, avg int) (complex128, bool) {
+	if avg < 1 {
+		avg = 1
+	}
+	n := d.noise.ComplexGaussian(d.Cal.NoisePower / float64(avg))
+	q, clipped := d.adc.Quantize(complex(gain, 0) * (signal*jitter + n))
+	return q / complex(gain, 0), clipped
+}
+
+// MeasureSingle implements nulling.Sounder: transmit the preamble on one
+// antenna at reference power and estimate the per-subcarrier channel.
+func (d *Device) MeasureSingle(ant int) ([]complex128, error) {
+	if ant != 1 && ant != 2 {
+		return nil, fmt.Errorf("sim: MeasureSingle antenna %d (want 1 or 2)", ant)
+	}
+	gain := d.ensureStage1Gain()
+	h := d.channelAt(ant, d.nullTime)
+	out := make([]complex128, len(h))
+	jitter := d.phaseJitter()
+	for k := range h {
+		y, clipped := d.captureEstimate(h[k]*complex(d.Cal.TxRefAmp, 0), jitter, gain, d.Cal.EstAverages)
+		if clipped {
+			return nil, fmt.Errorf("sim: ADC saturated during stage-1 sounding (subcarrier %d)", k)
+		}
+		out[k] = y / complex(d.Cal.TxRefAmp, 0)
+	}
+	return out, nil
+}
+
+// MeasureCombined implements nulling.Sounder: both antennas transmit
+// concurrently (antenna 2 precoded by p) at boosted power; the combined
+// residual channel estimate is returned, normalized by the boost.
+func (d *Device) MeasureCombined(p []complex128, boostDB float64) ([]complex128, error) {
+	if len(p) != len(d.lambdas) {
+		return nil, fmt.Errorf("sim: precoding length %d != %d subcarriers", len(p), len(d.lambdas))
+	}
+	amp, _ := d.tx.Output(complex(d.Cal.TxRefAmp*math.Pow(10, boostDB/20), 0))
+	h1 := d.channelAt(1, d.nullTime)
+	h2 := d.channelAt(2, d.nullTime)
+	// AGC: aim the residual at the target fraction of full scale.
+	peak := 0.0
+	for k := range h1 {
+		if a := cAbs((h1[k] + p[k]*h2[k]) * amp); a > peak {
+			peak = a
+		}
+	}
+	if peak <= 0 {
+		peak = 1e-15
+	}
+	gain := d.capGain(d.Cal.AGCTargetFrac * d.Cal.ADCFullScale / peak)
+	out := make([]complex128, len(h1))
+	jitter := d.phaseJitter()
+	for k := range h1 {
+		y, clipped := d.captureEstimate((h1[k]+p[k]*h2[k])*amp, jitter, gain, d.Cal.EstAverages)
+		if clipped {
+			return nil, fmt.Errorf("sim: ADC saturated during combined sounding (subcarrier %d)", k)
+		}
+		out[k] = y / amp
+	}
+	return out, nil
+}
+
+// MeasureCombinedFixedGain is MeasureCombined without AGC adaptation: the
+// stage-1 gain is kept. This exposes the flash effect: boosting power
+// without nulling saturates the ADC (§4.1.2). It returns the estimates
+// and the fraction of subcarriers whose ADC samples clipped.
+func (d *Device) MeasureCombinedFixedGain(p []complex128, boostDB float64) ([]complex128, float64, error) {
+	if len(p) != len(d.lambdas) {
+		return nil, 0, fmt.Errorf("sim: precoding length %d != %d subcarriers", len(p), len(d.lambdas))
+	}
+	gain := d.ensureStage1Gain()
+	amp, _ := d.tx.Output(complex(d.Cal.TxRefAmp*math.Pow(10, boostDB/20), 0))
+	h1 := d.channelAt(1, d.nullTime)
+	h2 := d.channelAt(2, d.nullTime)
+	out := make([]complex128, len(h1))
+	clipped := 0
+	jitter := d.phaseJitter()
+	for k := range h1 {
+		y, c := d.captureEstimate((h1[k]+p[k]*h2[k])*amp, jitter, gain, d.Cal.EstAverages)
+		if c {
+			clipped++
+		}
+		out[k] = y / amp
+	}
+	return out, float64(clipped) / float64(len(out)), nil
+}
+
+// Capture records n tracking samples starting at startT with the given
+// precoding and boost: per subcarrier, the combined (nulled) channel is
+// measured every SampleT with TrackAverages-symbol averaging. The result
+// is indexed [subcarrier][sample]. An AGC gain is chosen once from the
+// first sample's residual.
+func (d *Device) Capture(p []complex128, boostDB float64, startT float64, n int) ([][]complex128, error) {
+	if len(p) != len(d.lambdas) {
+		return nil, fmt.Errorf("sim: precoding length %d != %d subcarriers", len(p), len(d.lambdas))
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("sim: capture length %d", n)
+	}
+	amp, _ := d.tx.Output(complex(d.Cal.TxRefAmp*math.Pow(10, boostDB/20), 0))
+	out := make([][]complex128, len(d.lambdas))
+	for k := range out {
+		out[k] = make([]complex128, n)
+	}
+	gain := 0.0
+	for i := 0; i < n; i++ {
+		t := startT + float64(i)*d.Cal.SampleT
+		h1 := d.channelAt(1, t)
+		h2 := d.channelAt(2, t)
+		if gain == 0 {
+			peak := 0.0
+			for k := range h1 {
+				if a := cAbs((h1[k] + p[k]*h2[k]) * amp); a > peak {
+					peak = a
+				}
+			}
+			if peak <= 0 {
+				peak = 1e-15
+			}
+			// Leave 16x headroom for humans approaching the device.
+			gain = d.capGain(d.Cal.ADCFullScale / (16 * peak))
+		}
+		jitter := d.phaseJitter()
+		for k := range h1 {
+			y, _ := d.captureEstimate((h1[k]+p[k]*h2[k])*amp, jitter, gain, d.Cal.TrackAverages)
+			out[k][i] = y / amp
+		}
+	}
+	return out, nil
+}
+
+// CaptureRaw records n tracking samples of the un-nulled channel: only
+// antenna 1 transmits at reference power and the receive gain stays at
+// the stage-1 AGC setting, so the flash occupies most of the ADC range
+// and moving-target returns ride on the few remaining LSBs. This is the
+// operating regime of narrowband Doppler systems without nulling
+// (§2.1 [30, 31]); internal/baseline builds its Doppler detector on it.
+func (d *Device) CaptureRaw(startT float64, n int) ([][]complex128, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("sim: capture length %d", n)
+	}
+	gain := d.ensureStage1Gain()
+	out := make([][]complex128, len(d.lambdas))
+	for k := range out {
+		out[k] = make([]complex128, n)
+	}
+	for i := 0; i < n; i++ {
+		t := startT + float64(i)*d.Cal.SampleT
+		h1 := d.channelAt(1, t)
+		jitter := d.phaseJitter()
+		for k := range h1 {
+			y, _ := d.captureEstimate(h1[k]*complex(d.Cal.TxRefAmp, 0), jitter, gain, d.Cal.TrackAverages)
+			out[k][i] = y / complex(d.Cal.TxRefAmp, 0)
+		}
+	}
+	return out, nil
+}
+
+func cAbs(x complex128) float64 { return math.Hypot(real(x), imag(x)) }

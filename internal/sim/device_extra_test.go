@@ -1,0 +1,182 @@
+package sim
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"wivi/internal/motion"
+	"wivi/internal/nulling"
+	"wivi/internal/rng"
+)
+
+func TestPhaseJitterStatistics(t *testing.T) {
+	sc := testScene(51)
+	d := testDevice(t, sc)
+	const n = 20000
+	var sumPhi, sumPhi2 float64
+	for i := 0; i < n; i++ {
+		j := d.phaseJitter()
+		phi := cmplx.Phase(complex128(j))
+		sumPhi += phi
+		sumPhi2 += phi * phi
+	}
+	mean := sumPhi / n
+	rms := math.Sqrt(sumPhi2 / n)
+	if math.Abs(mean) > 3*d.Cal.PhaseNoiseStd {
+		t.Fatalf("phase noise mean %v too large", mean)
+	}
+	// Stationary RMS should approach the calibration value.
+	if rms < 0.5*d.Cal.PhaseNoiseStd || rms > 2*d.Cal.PhaseNoiseStd {
+		t.Fatalf("phase noise RMS %v, want ~%v", rms, d.Cal.PhaseNoiseStd)
+	}
+}
+
+func TestPhaseJitterDisabled(t *testing.T) {
+	sc := testScene(52)
+	cal := DefaultCalibration()
+	cal.PhaseNoiseStd = 0
+	d, err := NewDevice(sc, cal, DeviceConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if j := d.phaseJitter(); j != 1 {
+			t.Fatalf("disabled phase jitter = %v", j)
+		}
+	}
+}
+
+func TestPhaseJitterIsLowFrequency(t *testing.T) {
+	// Successive jitter samples must be correlated (OU process): the
+	// lag-1 autocorrelation of the phase should be near 1 - dt/tau.
+	sc := testScene(53)
+	d := testDevice(t, sc)
+	const n = 5000
+	phis := make([]float64, n)
+	for i := range phis {
+		phis[i] = cmplx.Phase(complex128(d.phaseJitter()))
+	}
+	var c0, c1 float64
+	for i := 0; i < n-1; i++ {
+		c0 += phis[i] * phis[i]
+		c1 += phis[i] * phis[i+1]
+	}
+	rho := c1 / c0
+	want := 1 - d.Cal.SampleT/d.Cal.PhaseNoiseTau
+	if math.Abs(rho-want) > 0.05 {
+		t.Fatalf("lag-1 autocorrelation %v, want ~%v (correlated phase noise)", rho, want)
+	}
+}
+
+func TestCaptureRawShapeAndFlashDominance(t *testing.T) {
+	sc := testScene(54)
+	if _, err := sc.AddWalker(3); err != nil {
+		t.Fatal(err)
+	}
+	d := testDevice(t, sc)
+	const n = 128
+	got, err := d.CaptureRaw(0, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != d.NumSubcarriers() || len(got[0]) != n {
+		t.Fatalf("raw capture shape %dx%d", len(got), len(got[0]))
+	}
+	// Raw capture contains the un-nulled static channel: its mean must be
+	// far larger than its motion-induced variation.
+	mean := 0.0
+	for _, v := range got[4] {
+		mean += cAbs(v)
+	}
+	mean /= n
+	if varP := timeVariance(got[4]); varP > mean*mean {
+		t.Fatalf("raw capture variation %v exceeds flash power %v", varP, mean*mean)
+	}
+	if _, err := d.CaptureRaw(0, 0); err == nil {
+		t.Fatal("zero-length raw capture accepted")
+	}
+}
+
+func TestNoiseFloorMatchesEmptyCapture(t *testing.T) {
+	// The advertised NoiseFloor must match the measured variance of an
+	// empty-room nulled capture (this anchors the counting statistic).
+	sc := testScene(55)
+	d := testDevice(t, sc)
+	res, err := nulling.Run(d, nulling.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 512
+	got, err := d.Capture(res.P, d.Cal.BoostDB, 0, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	measured := timeVariance(meanAcrossSubs(got))
+	floor := d.NoiseFloor()
+	ratio := measured / floor
+	// Within 3x: quantization, AGC and boost normalization all contribute.
+	if ratio < 0.3 || ratio > 3 {
+		t.Fatalf("empty-capture variance %.3g vs advertised floor %.3g (ratio %.2f)",
+			measured, floor, ratio)
+	}
+}
+
+func TestDeterministicCapture(t *testing.T) {
+	run := func() []complex128 {
+		sc := NewScene(SceneConfig{Seed: 56})
+		if _, err := sc.AddWalker(2); err != nil {
+			t.Fatal(err)
+		}
+		d, err := NewDevice(sc, DefaultCalibration(), DeviceConfig{Seed: 56})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := nulling.Run(d, nulling.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := d.Capture(res.P, d.Cal.BoostDB, 0, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got[3]
+	}
+	a := run()
+	b := run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("capture not deterministic under fixed seed")
+		}
+	}
+}
+
+func TestRobotTargetIsTrackable(t *testing.T) {
+	// §5.1 fn. 1: Wi-Vi also tracks an iRobot Create. A rigid robot (one
+	// scattering part, no sway) must still light up the nulled capture.
+	sc := NewScene(SceneConfig{Seed: 60})
+	robot, err := motion.NewRobotPath(rng.DeriveSeed(60, "robot"), sc.Room, 0.3, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Humans = append(sc.Humans, &Human{
+		Torso: robot,
+		RCS:   0.35, // a small plastic disc reflects far less than a human
+		Parts: []BodyPart{{Traj: robot, RCS: 0.35}},
+		Name:  "irobot-create",
+	})
+	d := testDevice(t, sc)
+	res, err := nulling.Run(d, nulling.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 512
+	got, err := d.Capture(res.P, d.Cal.BoostDB, 0, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moving := timeVariance(meanAcrossSubs(got))
+	if moving < 5*d.NoiseFloor() {
+		t.Fatalf("robot motion power %.3g not above noise floor %.3g", moving, d.NoiseFloor())
+	}
+}

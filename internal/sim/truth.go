@@ -1,0 +1,98 @@
+package sim
+
+import (
+	"math"
+
+	"wivi/internal/geom"
+)
+
+// Truth is the ground-truth record of an experiment: sampled subject
+// positions plus the device location, from which the paper's spatial
+// angle theta (§5.1) can be computed for validation.
+type Truth struct {
+	// DevicePos is the receive antenna position.
+	DevicePos geom.Point
+	// Times holds the sample timestamps.
+	Times []float64
+	// Positions[h][i] is human h's torso position at Times[i].
+	Positions [][]geom.Point
+	// Names labels the humans.
+	Names []string
+}
+
+// Truth samples the scene's ground truth at the device's tracking rate.
+func (d *Device) Truth(startT float64, n int) *Truth {
+	tr := &Truth{DevicePos: d.Rx.Pos}
+	for i := 0; i < n; i++ {
+		tr.Times = append(tr.Times, startT+float64(i)*d.Cal.SampleT)
+	}
+	for _, h := range d.scene.Humans {
+		pos := make([]geom.Point, n)
+		for i, t := range tr.Times {
+			pos[i] = h.Torso.At(t)
+		}
+		tr.Positions = append(tr.Positions, pos)
+		tr.Names = append(tr.Names, h.Name)
+	}
+	return tr
+}
+
+// NumHumans returns the number of tracked subjects.
+func (tr *Truth) NumHumans() int { return len(tr.Positions) }
+
+// velocity estimates human h's velocity at sample i by central
+// differences.
+func (tr *Truth) velocity(h, i int) geom.Vec {
+	n := len(tr.Times)
+	lo, hi := i-1, i+1
+	if lo < 0 {
+		lo = 0
+	}
+	if hi >= n {
+		hi = n - 1
+	}
+	if hi == lo {
+		return geom.Vec{}
+	}
+	dt := tr.Times[hi] - tr.Times[lo]
+	return tr.Positions[h][hi].Sub(tr.Positions[h][lo]).Scale(1 / dt)
+}
+
+// PaperAngleDeg returns the paper's spatial angle theta for human h at
+// sample i: the angle between the line from the human to the device and
+// the normal to the motion, positive when the human moves toward the
+// device (§5.1, Fig. 1-1(b)). ok is false when the human is (nearly)
+// stationary and the angle is undefined.
+func (tr *Truth) PaperAngleDeg(h, i int) (thetaDeg float64, ok bool) {
+	v := tr.velocity(h, i)
+	speed := v.Len()
+	if speed < 0.05 {
+		return 0, false
+	}
+	toDev := tr.DevicePos.Sub(tr.Positions[h][i]).Unit()
+	sinTheta := v.Unit().Dot(toDev)
+	sinTheta = math.Max(-1, math.Min(1, sinTheta))
+	return geom.Rad2Deg(math.Asin(sinTheta)), true
+}
+
+// ObservedAngleDeg returns the angle an ISAR processor assuming speed
+// assumedV would localize human h at: the radial-velocity mapping
+// sin(theta_obs) = v_radial / assumedV, clamped to +-90 degrees. Errors
+// in the assumed speed over- or under-estimate the angle but never flip
+// its sign (§5.1).
+func (tr *Truth) ObservedAngleDeg(h, i int, assumedV float64) (thetaDeg float64, ok bool) {
+	v := tr.velocity(h, i)
+	if v.Len() < 0.05 || assumedV <= 0 {
+		return 0, false
+	}
+	toDev := tr.DevicePos.Sub(tr.Positions[h][i]).Unit()
+	radial := v.Dot(toDev) // positive toward the device
+	s := radial / assumedV
+	s = math.Max(-1, math.Min(1, s))
+	return geom.Rad2Deg(math.Asin(s)), true
+}
+
+// MovingAt reports whether human h moves faster than 0.05 m/s at sample i.
+func (tr *Truth) MovingAt(h, i int) bool {
+	return tr.velocity(h, i).Len() >= 0.05
+}

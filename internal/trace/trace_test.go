@@ -1,0 +1,147 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"testing/quick"
+
+	"wivi/internal/rng"
+)
+
+func sampleRecord(seed int64, nSub, nSamp int) *Record {
+	s := rng.New(seed)
+	r := &Record{SampleT: 0.0032, Lambda: 0.125}
+	for k := 0; k < nSub; k++ {
+		r.PerSub = append(r.PerSub, s.ComplexGaussianVec(nSamp, 1))
+	}
+	return r
+}
+
+func TestRoundTrip(t *testing.T) {
+	r := sampleRecord(1, 4, 100)
+	var buf bytes.Buffer
+	if err := Write(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SampleT != r.SampleT || got.Lambda != r.Lambda {
+		t.Fatal("metadata round trip failed")
+	}
+	for k := range r.PerSub {
+		for i := range r.PerSub[k] {
+			if got.PerSub[k][i] != r.PerSub[k][i] {
+				t.Fatalf("sample (%d,%d) mismatch", k, i)
+			}
+		}
+	}
+	if got.Samples() != 100 || got.Duration() != 0.32 {
+		t.Fatalf("Samples/Duration = %d/%v", got.Samples(), got.Duration())
+	}
+}
+
+// TestRoundTripProperty exercises arbitrary shapes.
+func TestRoundTripProperty(t *testing.T) {
+	seed := int64(0)
+	f := func() bool {
+		s := rng.New(seed)
+		seed++
+		r := sampleRecord(seed, 1+s.Intn(8), 1+s.Intn(200))
+		var buf bytes.Buffer
+		if err := Write(&buf, r); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		if len(got.PerSub) != len(r.PerSub) {
+			return false
+		}
+		for k := range r.PerSub {
+			for i := range r.PerSub[k] {
+				if got.PerSub[k][i] != r.PerSub[k][i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cases := []*Record{
+		{SampleT: 0, Lambda: 1, PerSub: [][]complex128{{1}}},
+		{SampleT: 1, Lambda: 0, PerSub: [][]complex128{{1}}},
+		{SampleT: 1, Lambda: 1},
+		{SampleT: 1, Lambda: 1, PerSub: [][]complex128{{}}},
+		{SampleT: 1, Lambda: 1, PerSub: [][]complex128{{1}, {1, 2}}},
+	}
+	for i, r := range cases {
+		if err := r.Validate(); err == nil {
+			t.Errorf("case %d: invalid record accepted", i)
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, r); err == nil {
+			t.Errorf("case %d: invalid record written", i)
+		}
+	}
+}
+
+func TestReadRejectsBadMagic(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("NOPE................"))); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestReadRejectsBadVersion(t *testing.T) {
+	r := sampleRecord(2, 1, 4)
+	var buf bytes.Buffer
+	if err := Write(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	b[4] = 99 // corrupt version
+	if _, err := Read(bytes.NewReader(b)); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("err = %v, want ErrBadVersion", err)
+	}
+}
+
+func TestReadRejectsCorruptDims(t *testing.T) {
+	r := sampleRecord(3, 1, 4)
+	var buf bytes.Buffer
+	if err := Write(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	// Zero out the subcarrier count (offset: magic 4 + version 4 +
+	// 2 float64 = 24).
+	for i := 24; i < 28; i++ {
+		b[i] = 0
+	}
+	if _, err := Read(bytes.NewReader(b)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestReadTruncated(t *testing.T) {
+	r := sampleRecord(4, 2, 50)
+	var buf bytes.Buffer
+	if err := Write(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	if _, err := Read(bytes.NewReader(b[:len(b)/2])); err == nil {
+		t.Fatal("truncated trace accepted")
+	}
+	if _, err := Read(bytes.NewReader(nil)); !errors.Is(err, io.EOF) && err == nil {
+		t.Fatal("empty trace accepted")
+	}
+}

@@ -1,0 +1,11 @@
+package wivi
+
+import (
+	"wivi/internal/eval"
+	"wivi/internal/isar"
+)
+
+// renderHeatmap delegates to the evaluation harness's ASCII renderer.
+func renderHeatmap(img *isar.Image, width, height int) []string {
+	return eval.RenderHeatmap(img, width, height)
+}

@@ -1,0 +1,324 @@
+// Package wivi is a from-scratch Go reproduction of "See Through Walls
+// with Wi-Fi!" (Fadel Adib and Dina Katabi, ACM SIGCOMM 2013): a
+// 3-antenna 2.4 GHz device that detects and tracks humans through walls
+// using MIMO interference nulling (to eliminate the wall's "flash"
+// reflection) and inverse synthetic aperture radar processing (treating
+// the human's own motion as an antenna array).
+//
+// The package is the public API over the full system:
+//
+//	scene := wivi.NewScene(wivi.SceneOptions{Seed: 1})
+//	scene.AddWalker(30)                     // a person moving at will
+//	dev, _ := wivi.NewDevice(scene, wivi.DeviceOptions{})
+//	res, _ := dev.Track(10)                 // null, capture, image
+//	fmt.Println(res.Heatmap(64, 20))        // the Fig. 5-2 style image
+//
+// Because the original is a hardware system (USRP software radios), this
+// library ships with a physical simulator substrate (channel synthesis,
+// SDR front end, human motion); see DESIGN.md for the substitution
+// notes. All processing — nulling, ISAR/smoothed MUSIC, counting,
+// gesture decoding — is the paper's algorithms, implemented from
+// scratch on the Go standard library.
+package wivi
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"wivi/internal/core"
+	"wivi/internal/detect"
+	"wivi/internal/isar"
+	"wivi/internal/motion"
+	"wivi/internal/rf"
+	"wivi/internal/sim"
+)
+
+// Bit is one gesture-encoded bit (§6.1): '0' is a step forward then a
+// step backward; '1' is a step backward then a step forward.
+type Bit int
+
+// Bit values.
+const (
+	Bit0 Bit = 0
+	Bit1 Bit = 1
+)
+
+// Material identifies an obstruction between the device and the room.
+type Material int
+
+// Materials of the paper's evaluation (§7.6) plus Table 4.1 extras.
+const (
+	FreeSpace Material = iota
+	TintedGlass
+	SolidWoodDoor
+	HollowWall
+	Concrete8
+	Concrete18
+	ReinforcedConcrete
+)
+
+// String returns the material's display name.
+func (m Material) String() string { return m.rf().Name }
+
+// OneWayAttenuationDB returns the material's one-way RF attenuation at
+// 2.4 GHz (Table 4.1).
+func (m Material) OneWayAttenuationDB() float64 { return m.rf().OneWayDB }
+
+func (m Material) rf() rf.Material {
+	switch m {
+	case TintedGlass:
+		return rf.TintedGlass
+	case SolidWoodDoor:
+		return rf.SolidWoodDoor
+	case HollowWall:
+		return rf.HollowWall
+	case Concrete8:
+		return rf.Concrete8
+	case Concrete18:
+		return rf.Concrete18
+	case ReinforcedConcrete:
+		return rf.ReinforcedConcrete
+	default:
+		return rf.FreeSpace
+	}
+}
+
+// SceneOptions configures a through-wall scene.
+type SceneOptions struct {
+	// Seed makes the scene (furniture, subjects, noise) reproducible.
+	Seed int64
+	// Wall is the obstruction; default HollowWall (the paper's primary
+	// test building, §7.2).
+	Wall Material
+	// RoomWidth and RoomDepth give the imaged room size in meters;
+	// defaults 7 x 4 (the paper's first conference room).
+	RoomWidth, RoomDepth float64
+}
+
+// Scene is a furnished room behind a wall with zero or more moving
+// subjects.
+type Scene struct {
+	inner *sim.Scene
+	seed  int64
+}
+
+// NewScene builds a scene.
+func NewScene(opts SceneOptions) *Scene {
+	sc := sim.NewScene(sim.SceneConfig{
+		Seed:      opts.Seed,
+		Wall:      opts.Wall.rf(),
+		RoomWidth: opts.RoomWidth,
+		RoomDepth: opts.RoomDepth,
+	})
+	return &Scene{inner: sc, seed: opts.Seed}
+}
+
+// AddWalker adds a person who moves at will inside the room for the
+// given duration in seconds (§7.2).
+func (s *Scene) AddWalker(duration float64) error {
+	_, err := s.inner.AddWalker(duration)
+	return err
+}
+
+// GestureMessage configures a gesture-transmitting subject (§6).
+type GestureMessage struct {
+	// Bits is the message.
+	Bits []Bit
+	// Distance is how far behind the wall the subject stands, in meters.
+	Distance float64
+	// SlantDeg tilts the stepping direction off the device line
+	// (Fig. 6-2(c): the subject need not know where the device is).
+	SlantDeg float64
+	// LeadInSeconds is how long the subject stands still before the
+	// first gesture. Default 1.5.
+	LeadInSeconds float64
+}
+
+// AddGestureSender adds a subject transmitting the message and returns
+// the total transmission duration in seconds.
+func (s *Scene) AddGestureSender(msg GestureMessage) (float64, error) {
+	if len(msg.Bits) == 0 {
+		return 0, errors.New("wivi: empty gesture message")
+	}
+	if msg.Distance <= 0 {
+		return 0, fmt.Errorf("wivi: gesture distance %v must be positive", msg.Distance)
+	}
+	if msg.LeadInSeconds == 0 {
+		msg.LeadInSeconds = 1.5
+	}
+	bits := make([]motion.Bit, len(msg.Bits))
+	for i, b := range msg.Bits {
+		bits[i] = motion.Bit(b)
+	}
+	params := motion.DefaultGestureParams()
+	if _, err := s.inner.AddGestureSubject(msg.Distance, bits, params, msg.SlantDeg, msg.LeadInSeconds); err != nil {
+		return 0, err
+	}
+	return motion.MessageDuration(len(bits), params, msg.LeadInSeconds) + 1, nil
+}
+
+// NumSubjects returns the number of moving subjects in the scene.
+func (s *Scene) NumSubjects() int { return len(s.inner.Humans) }
+
+// DeviceOptions configures the Wi-Vi device.
+type DeviceOptions struct {
+	// StandoffMeters is the device's distance from the wall; default 1
+	// (§7.3).
+	StandoffMeters float64
+	// Seed drives the device's noise; defaults to the scene seed.
+	Seed int64
+}
+
+// Device is a Wi-Vi device observing one scene.
+type Device struct {
+	pipeline *core.Device
+	fe       *sim.Device
+}
+
+// NewDevice places a device in front of the scene's wall.
+func NewDevice(scene *Scene, opts DeviceOptions) (*Device, error) {
+	if scene == nil {
+		return nil, errors.New("wivi: nil scene")
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = scene.seed
+	}
+	fe, err := sim.NewDevice(scene.inner, sim.DefaultCalibration(), sim.DeviceConfig{
+		Standoff: opts.StandoffMeters,
+		Seed:     seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	pipeline, err := core.New(fe, core.DefaultConfig(fe))
+	if err != nil {
+		return nil, err
+	}
+	return &Device{pipeline: pipeline, fe: fe}, nil
+}
+
+// NullingSummary reports the flash-elimination outcome (§4).
+type NullingSummary struct {
+	// AchievedDB is the reduction in static-path power (Fig. 7-7:
+	// median ~40 dB).
+	AchievedDB float64
+	// Iterations is the number of iterative-nulling refinements.
+	Iterations int
+}
+
+// Null runs the three-phase nulling procedure and returns its summary.
+// Track and DecodeMessage null automatically when needed.
+func (d *Device) Null() (NullingSummary, error) {
+	res, err := d.pipeline.Null()
+	if err != nil {
+		return NullingSummary{}, err
+	}
+	return NullingSummary{AchievedDB: res.AchievedNullingDB(), Iterations: res.Iterations}, nil
+}
+
+// TrackingResult is the outcome of a tracking capture.
+type TrackingResult struct {
+	img *isar.Image
+	dev *Device
+}
+
+// Track nulls (if needed), captures duration seconds and runs the
+// smoothed-MUSIC ISAR chain (§5).
+func (d *Device) Track(duration float64) (*TrackingResult, error) {
+	img, _, err := d.pipeline.Track(0, duration)
+	if err != nil {
+		return nil, err
+	}
+	return &TrackingResult{img: img, dev: d}, nil
+}
+
+// NumFrames returns the number of angle-spectrum frames.
+func (r *TrackingResult) NumFrames() int { return r.img.NumFrames() }
+
+// FrameTime returns the center time of frame f in seconds.
+func (r *TrackingResult) FrameTime(f int) float64 { return r.img.Times[f] }
+
+// AnglesAt returns up to max dominant non-DC angles (degrees) of frame
+// f. Positive angles mean motion toward the device (§5.1).
+func (r *TrackingResult) AnglesAt(f, max int) []float64 {
+	return r.img.DominantAngles(f, max, 8)
+}
+
+// SpatialVariance returns the trial-level counting statistic (§5.2).
+func (r *TrackingResult) SpatialVariance() float64 {
+	return r.dev.pipeline.SpatialVariance(r.img)
+}
+
+// Heatmap renders the angle-time image as ASCII art (the Fig. 5-2
+// style): +90 degrees at the top, time left to right.
+func (r *TrackingResult) Heatmap(width, height int) string {
+	return strings.Join(renderHeatmap(r.img, width, height), "\n")
+}
+
+// Counter classifies tracking captures into a number of moving humans
+// (§5.2, Table 7.1).
+type Counter struct {
+	clf *detect.Classifier
+}
+
+// TrainCounter learns count thresholds from labeled spatial variances:
+// samples[k] holds SpatialVariance values observed with k humans.
+func TrainCounter(samples map[int][]float64) (*Counter, error) {
+	clf, err := detect.Train(samples)
+	if err != nil {
+		return nil, err
+	}
+	return &Counter{clf: clf}, nil
+}
+
+// Count classifies one tracking result.
+func (c *Counter) Count(r *TrackingResult) int {
+	return c.clf.Classify(r.SpatialVariance())
+}
+
+// DecodedMessage is the outcome of gesture decoding (§6.2).
+type DecodedMessage struct {
+	// Bits are the decoded bits in order.
+	Bits []Bit
+	// SNRsDB holds the per-bit gesture SNR.
+	SNRsDB []float64
+	// Erasures counts gestures whose SNR fell below the 3 dB gate
+	// (dropped, never flipped; §7.5).
+	Erasures int
+	// Steps counts all detected step events.
+	Steps int
+}
+
+// DecodeMessage captures duration seconds in gesture mode and decodes
+// the step gestures into bits.
+func (d *Device) DecodeMessage(duration float64) (*DecodedMessage, error) {
+	d.pipeline.SetMode(core.ModeGesture)
+	img, _, err := d.pipeline.Track(0, duration)
+	if err != nil {
+		return nil, err
+	}
+	res, err := d.pipeline.DecodeGestures(img)
+	if err != nil {
+		return nil, err
+	}
+	out := &DecodedMessage{
+		SNRsDB:   append([]float64(nil), res.BitSNRsDB...),
+		Erasures: res.Erasures,
+		Steps:    len(res.Steps),
+	}
+	for _, b := range res.Bits {
+		out.Bits = append(out.Bits, Bit(b))
+	}
+	return out, nil
+}
+
+// String renders the decoded bits as a "0101" string.
+func (m *DecodedMessage) String() string {
+	var b strings.Builder
+	for _, bit := range m.Bits {
+		fmt.Fprintf(&b, "%d", bit)
+	}
+	return b.String()
+}
