@@ -1,0 +1,17 @@
+# Tier-1 gate, mirrored by .github/workflows/ci.yml.
+.PHONY: check vet build test bench
+
+check: vet build test
+
+vet:
+	go vet ./...
+
+build:
+	go build ./...
+
+test:
+	go test -race ./...
+
+# Engine throughput: sequential vs parallel batch tracking.
+bench:
+	go test -run '^$$' -bench 'BenchmarkTrack(Sequential|Parallel)' -benchtime 5x .

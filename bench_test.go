@@ -8,6 +8,7 @@ package wivi
 // scale and generates EXPERIMENTS.md.
 
 import (
+	"context"
 	"testing"
 
 	"wivi/internal/eval"
@@ -27,6 +28,78 @@ func runExperiment(b *testing.B, f func(eval.Options) *eval.Report) {
 			b.Fatalf("%s shape mismatch:\n%s", r.ID, r)
 		}
 	}
+}
+
+// --- Concurrent tracking engine: sequential vs parallel throughput ---
+//
+// Both benchmarks track the same multi-scene batch; the parallel variant
+// multiplexes it over the engine at 8 workers with per-frame fan-out,
+// while the baseline's devices are built with FrameWorkers=1 so it is
+// genuinely sequential end to end. On a multi-core machine the parallel
+// path sustains >= 2x the sequential throughput (the scenes are
+// independent devices, so scaling is near-linear up to the core count);
+// on a single core the two match, since correctness — output
+// byte-identity with the sequential path — never depends on the worker
+// count (see TestTrackManyMatchesSequential).
+
+const (
+	benchBatch    = 8
+	benchWorkers  = 8
+	benchTrackDur = 1.0
+)
+
+// buildBenchBatch creates the scene batch and pre-nulls every device so
+// the timed region measures tracking (capture + ISAR), not calibration.
+// frameWorkers 1 builds the sequential baseline; 0 keeps the default
+// per-CPU frame fan-out.
+func buildBenchBatch(b *testing.B, frameWorkers int) []*Device {
+	b.Helper()
+	devices := make([]*Device, benchBatch)
+	for i := range devices {
+		seed := int64(1000 + i)
+		sc := NewScene(SceneOptions{Seed: seed})
+		if err := sc.AddWalker(2); err != nil {
+			b.Fatal(err)
+		}
+		dev, err := NewDevice(sc, DeviceOptions{FrameWorkers: frameWorkers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := dev.Null(); err != nil {
+			b.Fatal(err)
+		}
+		devices[i] = dev
+	}
+	return devices
+}
+
+// BenchmarkTrackSequential is the baseline: the batch tracked one scene
+// at a time with no parallelism anywhere.
+func BenchmarkTrackSequential(b *testing.B) {
+	devices := buildBenchBatch(b, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, d := range devices {
+			if _, err := d.Track(benchTrackDur); err != nil {
+				b.Fatalf("scene %d: %v", j, err)
+			}
+		}
+	}
+	b.ReportMetric(float64(benchBatch*b.N)/b.Elapsed().Seconds(), "scenes/s")
+}
+
+// BenchmarkTrackParallel tracks the same batch through the concurrent
+// engine at 8 workers.
+func BenchmarkTrackParallel(b *testing.B) {
+	devices := buildBenchBatch(b, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := TrackMany(context.Background(), devices, benchTrackDur,
+			TrackManyOptions{Workers: benchWorkers}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(benchBatch*b.N)/b.Elapsed().Seconds(), "scenes/s")
 }
 
 // BenchmarkTable41Attenuation regenerates Table 4.1 (one-way attenuation

@@ -3,19 +3,30 @@
 // paper claim, the measured rows/series, and a shape verdict. Its output
 // is the source for EXPERIMENTS.md.
 //
-//	wivi-bench            # full paper-scale run (minutes)
-//	wivi-bench -quick     # reduced trial counts (tens of seconds)
-//	wivi-bench -run F7.4  # a single experiment by ID
+//	wivi-bench                      # full paper-scale run (minutes)
+//	wivi-bench -quick               # reduced trial counts (tens of seconds)
+//	wivi-bench -run F7.4            # a single experiment by ID
+//	wivi-bench -workers 8           # experiments fan out over 8 workers
+//	wivi-bench -batch 32 -workers 8 # engine throughput mode (see below)
+//
+// Throughput mode (-batch N) exercises the concurrent tracking engine
+// instead of the evaluation suite: it builds N independent one-walker
+// scenes, tracks them sequentially and then through wivi.TrackMany at
+// -workers, verifies the two result sets render identically, and reports
+// scenes/second plus the parallel speedup.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
+	"wivi"
 	"wivi/internal/eval"
 )
 
@@ -24,33 +35,163 @@ func main() {
 	log.SetPrefix("wivi-bench: ")
 
 	var (
-		quick = flag.Bool("quick", false, "reduced trial counts")
-		run   = flag.String("run", "", "run only the experiment with this ID (e.g. F7.4)")
-		seed  = flag.Int64("seed", 1, "base seed")
+		quick    = flag.Bool("quick", false, "reduced trial counts")
+		run      = flag.String("run", "", "run only the experiment with this ID (e.g. F7.4)")
+		seed     = flag.Int64("seed", 1, "base seed")
+		workers  = flag.Int("workers", 0, "worker pool size for experiments and -batch mode (0 = one per CPU)")
+		batch    = flag.Int("batch", 0, "engine throughput mode: track this many scenes instead of running experiments")
+		trackDur = flag.Float64("trackdur", 4, "per-scene capture duration in seconds for -batch mode")
 	)
 	flag.Parse()
+	if *workers < 1 {
+		*workers = runtime.GOMAXPROCS(0)
+	}
+
+	if *batch > 0 {
+		if *run != "" || *quick {
+			log.Fatal("-batch runs the engine throughput mode and is incompatible with -run/-quick")
+		}
+		if err := runBatchMode(*batch, *workers, *seed, *trackDur); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	opts := eval.Options{Quick: *quick, Seed: *seed}
 	start := time.Now()
-	failures, ran := 0, 0
+	var selected []eval.Experiment
 	for _, e := range eval.Experiments() {
 		if *run != "" && !strings.EqualFold(e.ID, *run) {
 			continue
 		}
-		r := e.Run(opts)
-		ran++
+		selected = append(selected, e)
+	}
+	failures := 0
+	runExperiments(selected, opts, *workers, func(r *eval.Report) {
 		fmt.Println(r)
 		if !r.Pass {
 			failures++
 		}
-	}
+	})
 	scale := "full"
 	if *quick {
 		scale = "quick"
 	}
-	fmt.Printf("ran %d experiments (%s scale, seed %d) in %.1fs; %d shape mismatches\n",
-		ran, scale, *seed, time.Since(start).Seconds(), failures)
+	fmt.Printf("ran %d experiments (%s scale, seed %d, %d workers) in %.1fs; %d shape mismatches\n",
+		len(selected), scale, *seed, *workers, time.Since(start).Seconds(), failures)
 	if failures > 0 {
 		os.Exit(1)
 	}
+}
+
+// runExperiments executes the experiments over a bounded worker pool
+// (each experiment builds its own scenes, so they are independent) and
+// streams the reports to emit in experiment order regardless of
+// scheduling: report i is emitted as soon as experiments 0..i are done,
+// so a long full-scale run still shows incremental progress.
+func runExperiments(exps []eval.Experiment, opts eval.Options, workers int, emit func(*eval.Report)) {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(exps) {
+		workers = len(exps)
+	}
+	if workers <= 1 {
+		for _, e := range exps {
+			emit(e.Run(opts))
+		}
+		return
+	}
+	reports := make([]*eval.Report, len(exps))
+	done := make([]chan struct{}, len(exps))
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		go func() {
+			for i := range idx {
+				reports[i] = exps[i].Run(opts)
+				close(done[i])
+			}
+		}()
+	}
+	go func() {
+		for i := range exps {
+			idx <- i
+		}
+		close(idx)
+	}()
+	for i := range exps {
+		<-done[i]
+		emit(reports[i])
+	}
+}
+
+// runBatchMode measures the concurrent engine's scene throughput against
+// the sequential baseline on identical scene sets.
+func runBatchMode(batch, workers int, seed int64, trackDur float64) error {
+	// frameWorkers 1 builds the truly sequential baseline (no per-frame
+	// fan-out either); 0 keeps the default per-CPU fan-out. The knob
+	// never changes the output image, so the identity check below still
+	// compares like with like.
+	buildDevices := func(frameWorkers int) ([]*wivi.Device, error) {
+		devices := make([]*wivi.Device, batch)
+		for i := range devices {
+			sc := wivi.NewScene(wivi.SceneOptions{Seed: seed + int64(i)})
+			if err := sc.AddWalker(trackDur + 1); err != nil {
+				return nil, err
+			}
+			dev, err := wivi.NewDevice(sc, wivi.DeviceOptions{FrameWorkers: frameWorkers})
+			if err != nil {
+				return nil, err
+			}
+			devices[i] = dev
+		}
+		return devices, nil
+	}
+
+	fmt.Printf("engine throughput: %d scenes x %.1fs capture, %d workers\n", batch, trackDur, workers)
+
+	seqDevices, err := buildDevices(1)
+	if err != nil {
+		return err
+	}
+	seqStart := time.Now()
+	seqResults := make([]*wivi.TrackingResult, batch)
+	for i, d := range seqDevices {
+		res, err := d.Track(trackDur)
+		if err != nil {
+			return fmt.Errorf("sequential scene %d: %w", i, err)
+		}
+		seqResults[i] = res
+	}
+	seqElapsed := time.Since(seqStart)
+
+	parDevices, err := buildDevices(0)
+	if err != nil {
+		return err
+	}
+	parStart := time.Now()
+	parResults, err := wivi.TrackMany(context.Background(), parDevices, trackDur,
+		wivi.TrackManyOptions{Workers: workers})
+	if err != nil {
+		return fmt.Errorf("TrackMany: %w", err)
+	}
+	parElapsed := time.Since(parStart)
+
+	// The engine must not change the physics: identical scenes produce
+	// bit-identical images whichever path computed them.
+	for i := range seqResults {
+		if !seqResults[i].Equal(parResults[i]) {
+			return fmt.Errorf("scene %d: parallel result differs from sequential", i)
+		}
+	}
+
+	seqRate := float64(batch) / seqElapsed.Seconds()
+	parRate := float64(batch) / parElapsed.Seconds()
+	fmt.Printf("  sequential: %8.2fs  (%.2f scenes/s)\n", seqElapsed.Seconds(), seqRate)
+	fmt.Printf("  parallel:   %8.2fs  (%.2f scenes/s)\n", parElapsed.Seconds(), parRate)
+	fmt.Printf("  speedup:    %.2fx; outputs identical across %d scenes\n", seqElapsed.Seconds()/parElapsed.Seconds(), batch)
+	return nil
 }

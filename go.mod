@@ -1,0 +1,3 @@
+module wivi
+
+go 1.24

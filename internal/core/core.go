@@ -14,8 +14,11 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime"
+	"sync"
 
 	"wivi/internal/detect"
 	"wivi/internal/gesture"
@@ -73,6 +76,11 @@ type Config struct {
 	// Gesture controls the decoder; FrameT is overwritten from the ISAR
 	// hop.
 	Gesture gesture.DecoderConfig
+	// FrameWorkers bounds the per-capture ISAR frame fan-out (frames are
+	// independent stages assembled by index, so the image is identical
+	// for every worker count). Values <= 1 process frames sequentially;
+	// DefaultConfig uses GOMAXPROCS.
+	FrameWorkers int
 }
 
 // DefaultConfig returns the paper-matched pipeline configuration for a
@@ -82,9 +90,10 @@ func DefaultConfig(fe FrontEnd) Config {
 	ic.Lambda = fe.Wavelength()
 	ic.SampleT = fe.SampleT()
 	return Config{
-		Nulling: nulling.DefaultConfig(),
-		ISAR:    ic,
-		Gesture: gesture.DefaultDecoderConfig(float64(ic.Hop) * ic.SampleT),
+		Nulling:      nulling.DefaultConfig(),
+		ISAR:         ic,
+		Gesture:      gesture.DefaultDecoderConfig(float64(ic.Hop) * ic.SampleT),
+		FrameWorkers: runtime.GOMAXPROCS(0),
 	}
 }
 
@@ -110,11 +119,23 @@ func (t *Trace) Samples() int { return len(t.Combined) }
 func (t *Trace) Duration() float64 { return float64(len(t.Combined)) * t.SampleT }
 
 // Device is the integrated Wi-Vi pipeline over a front end.
+//
+// Device is safe for concurrent use: the front end is a stateful radio
+// (AGC, oscillator phase, noise stream), so measurements — nulling and
+// captures — serialize on an internal mutex, while the pure compute
+// stages (ISAR imaging, counting, gesture decoding) run lock-free and
+// may overlap freely across goroutines. The concurrent engine in
+// internal/pipeline therefore parallelizes across devices and across
+// ISAR frames, never across captures of one radio.
 type Device struct {
-	fe      FrontEnd
-	cfg     Config
+	fe   FrontEnd
+	cfg  Config
+	proc *isar.Processor
+
+	// mu serializes front-end measurements and guards the mutable
+	// nulling/mode state.
+	mu      sync.Mutex
 	mode    Mode
-	proc    *isar.Processor
 	nullRes *nulling.Result
 }
 
@@ -136,10 +157,18 @@ func New(fe FrontEnd, cfg Config) (*Device, error) {
 
 // SetMode selects tracking or gesture mode (§3.2). The pipeline is the
 // same; the mode is advisory metadata for callers and reports.
-func (d *Device) SetMode(m Mode) { d.mode = m }
+func (d *Device) SetMode(m Mode) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.mode = m
+}
 
 // CurrentMode returns the device mode.
-func (d *Device) CurrentMode() Mode { return d.mode }
+func (d *Device) CurrentMode() Mode {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.mode
+}
 
 // Config returns the active configuration.
 func (d *Device) Config() Config { return d.cfg }
@@ -147,6 +176,12 @@ func (d *Device) Config() Config { return d.cfg }
 // Null runs the three-phase nulling procedure (§4) and retains the
 // result for subsequent captures.
 func (d *Device) Null() (*nulling.Result, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.nullLocked()
+}
+
+func (d *Device) nullLocked() (*nulling.Result, error) {
 	res, err := nulling.Run(d.fe, d.cfg.Nulling)
 	if err != nil {
 		return nil, err
@@ -155,19 +190,41 @@ func (d *Device) Null() (*nulling.Result, error) {
 	return res, nil
 }
 
-// NullingResult returns the most recent nulling result (nil before Null).
-func (d *Device) NullingResult() *nulling.Result { return d.nullRes }
+// NullingResult returns the most recent nulling result (nil before
+// Null). The result is read-shared, never mutated; Clone it before
+// editing.
+func (d *Device) NullingResult() *nulling.Result {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.nullRes
+}
 
 // CaptureTrace nulls (if not yet done) and records duration seconds of
 // the residual channel starting at startT.
 func (d *Device) CaptureTrace(startT, duration float64) (*Trace, error) {
+	return d.CaptureTraceCtx(context.Background(), startT, duration)
+}
+
+// CaptureTraceCtx is CaptureTrace with cancellation. The front end is
+// one stateful radio, so concurrent captures serialize on the device
+// mutex; the context is checked before the measurement starts (a capture
+// in progress runs to completion, mirroring real hardware DMA).
+func (d *Device) CaptureTraceCtx(ctx context.Context, startT, duration float64) (*Trace, error) {
 	if duration <= 0 {
 		return nil, fmt.Errorf("core: non-positive capture duration %v", duration)
 	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if d.nullRes == nil {
-		if _, err := d.Null(); err != nil {
+		if _, err := d.nullLocked(); err != nil {
 			return nil, fmt.Errorf("core: auto-null: %w", err)
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	n := int(duration / d.fe.SampleT())
 	if n < 1 {
@@ -192,23 +249,37 @@ func (d *Device) CaptureTrace(startT, duration float64) (*Trace, error) {
 
 // Image runs the smoothed-MUSIC ISAR chain over a trace.
 func (d *Device) Image(tr *Trace) (*isar.Image, error) {
-	return d.proc.ComputeImage(tr.Combined)
+	return d.ImageCtx(context.Background(), tr)
+}
+
+// ImageCtx is Image with cancellation; the frame stages fan out over the
+// configured FrameWorkers. Imaging is pure compute on the trace, so it
+// takes no device lock and may overlap other captures.
+func (d *Device) ImageCtx(ctx context.Context, tr *Trace) (*isar.Image, error) {
+	return d.proc.ComputeImageCtx(ctx, tr.Combined, d.cfg.FrameWorkers)
 }
 
 // BeamformImage runs the plain Eq. 5.1 beamformer over a trace (the
 // MUSIC ablation).
 func (d *Device) BeamformImage(tr *Trace) (*isar.Image, error) {
-	return d.proc.ComputeBeamformImage(tr.Combined)
+	return d.proc.ComputeBeamformImageCtx(context.Background(), tr.Combined, d.cfg.FrameWorkers)
 }
 
 // Track captures duration seconds and returns the angle-time image plus
 // the underlying trace.
 func (d *Device) Track(startT, duration float64) (*isar.Image, *Trace, error) {
-	tr, err := d.CaptureTrace(startT, duration)
+	return d.TrackCtx(context.Background(), startT, duration)
+}
+
+// TrackCtx is Track with cancellation: the capture serializes on the
+// device (stateful radio), then the ISAR stages fan out per frame. This
+// is the entry point the concurrent engine (internal/pipeline) drives.
+func (d *Device) TrackCtx(ctx context.Context, startT, duration float64) (*isar.Image, *Trace, error) {
+	tr, err := d.CaptureTraceCtx(ctx, startT, duration)
 	if err != nil {
 		return nil, nil, err
 	}
-	img, err := d.Image(tr)
+	img, err := d.ImageCtx(ctx, tr)
 	if err != nil {
 		return nil, nil, err
 	}

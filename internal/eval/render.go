@@ -14,7 +14,11 @@ const heatmapRamp = " .:-=+*#%@"
 
 // RenderHeatmap draws an angle-time image as ASCII art (angle on the
 // y axis from +90 at the top to -90 at the bottom, time on the x axis),
-// the terminal equivalent of Figs. 5-2/5-3/7-2.
+// the terminal equivalent of Figs. 5-2/5-3/7-2. This is the canonical
+// renderer: the public wivi package's TrackingResult.Heatmap re-exports
+// it (render.go at the repo root is a thin delegate), so heatmap changes
+// are made here once and every consumer — library, evaluation harness,
+// wivi-bench — picks them up.
 func RenderHeatmap(img *isar.Image, width, height int) []string {
 	if img.NumFrames() == 0 || width < 2 || height < 2 {
 		return nil

@@ -1,0 +1,226 @@
+package isar
+
+// Stage decomposition of the ISAR chain. The angle-time image is built
+// from analysis frames that are mutually independent: frame f reads only
+// its own window h[start : start+Window] and the processor's immutable
+// steering tables. That independence is what the concurrent engine
+// (internal/pipeline) exploits — frames fan out over a bounded pool of
+// goroutines and fan back in by index, so the assembled image is
+// byte-identical to the sequential chain regardless of worker count or
+// scheduling.
+//
+// The stages are:
+//
+//	FrameSpecs  — slice the channel stream into overlapping windows
+//	ProcessFrame — one window -> one Frame (correlation, eig, spectra)
+//	assembleImage — frames in index order -> Image
+//
+// ProcessFrame is pure: it never mutates the processor or the input
+// slice, so any number of goroutines may call it concurrently on the
+// same Processor.
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"wivi/internal/cmath"
+)
+
+// frameTokens caps the process-wide number of *extra* frame workers so
+// nested parallelism (a scene-level engine fanning out captures, each
+// capture fanning out frames) cannot oversubscribe the machine: every
+// capture always progresses on its calling goroutine, and borrows
+// additional workers only while global CPU budget remains. The worker
+// count never affects the output — frames fan in by index — so the cap
+// is purely a scheduling concern.
+var frameTokens = make(chan struct{}, runtime.GOMAXPROCS(0))
+
+// FrameSpec identifies one analysis frame of a capture: its position in
+// the image and the first sample of its window.
+type FrameSpec struct {
+	// Index is the frame's position in the assembled image.
+	Index int
+	// Start is the offset of the window's first sample in the capture.
+	Start int
+}
+
+// FrameSpecs slices a capture of n samples into the analysis frames the
+// configured window and hop produce. An empty slice means the capture is
+// shorter than one window.
+func (p *Processor) FrameSpecs(n int) []FrameSpec {
+	w := p.cfg.Window
+	var specs []FrameSpec
+	for start := 0; start+w <= n; start += p.cfg.Hop {
+		specs = append(specs, FrameSpec{Index: len(specs), Start: start})
+	}
+	return specs
+}
+
+// Frame is the fully processed output of one analysis window — one
+// column of the angle-time image plus its per-frame metadata.
+type Frame struct {
+	// Spec echoes the frame's identity.
+	Spec FrameSpec
+	// Time is the window's center time in seconds.
+	Time float64
+	// Power is the angular pseudospectrum (normalized to min = 1).
+	Power []float64
+	// Bartlett is the power-bearing Bartlett spectrum.
+	Bartlett []float64
+	// MotionPower is the mean-removed channel power of the window.
+	MotionPower float64
+	// SignalDim is the estimated signal-subspace dimension (>= 1).
+	SignalDim int
+}
+
+// ProcessFrame runs the full per-frame stage over one window of the
+// capture h: spatially-smoothed correlation, then either the smoothed
+// MUSIC pseudospectrum (music = true, Eq. 5.3) or the plain Eq. 5.1
+// beamformer, plus the Bartlett spectrum and motion-power metadata. It
+// is safe for concurrent use: h is only read, and the processor's
+// steering tables are immutable after NewProcessor.
+func (p *Processor) ProcessFrame(h []complex128, spec FrameSpec, music bool) (Frame, error) {
+	w := p.cfg.Window
+	if spec.Start < 0 || spec.Start+w > len(h) {
+		return Frame{}, fmt.Errorf("isar: frame window [%d, %d) outside capture of %d samples",
+			spec.Start, spec.Start+w, len(h))
+	}
+	window := h[spec.Start : spec.Start+w]
+	fr := Frame{
+		Spec:        spec,
+		Time:        (float64(spec.Start) + float64(w)/2) * p.cfg.SampleT,
+		MotionPower: motionPower(window),
+		SignalDim:   1,
+	}
+	r, err := p.SmoothedCorrelation(window)
+	if err != nil {
+		return Frame{}, err
+	}
+	fr.Bartlett = p.BartlettSpectrum(r)
+	if music {
+		eig, err := cmath.HermitianEig(r)
+		if err != nil {
+			return Frame{}, fmt.Errorf("isar: frame at sample %d: %w", spec.Start, err)
+		}
+		fr.SignalDim = p.EstimateSignalDim(eig.Values)
+		fr.Power = p.MUSICSpectrum(eig.NoiseSubspace(fr.SignalDim))
+	} else {
+		fr.Power, err = p.BeamformSpectrum(window)
+		if err != nil {
+			return Frame{}, err
+		}
+	}
+	return fr, nil
+}
+
+// assembleImage folds processed frames (already in index order) into an
+// Image.
+func (p *Processor) assembleImage(frames []Frame) *Image {
+	img := &Image{
+		ThetaDeg:    p.thetasDeg,
+		Times:       make([]float64, len(frames)),
+		Power:       make([][]float64, len(frames)),
+		Bartlett:    make([][]float64, len(frames)),
+		MotionPower: make([]float64, len(frames)),
+		SignalDim:   make([]int, len(frames)),
+	}
+	for i, fr := range frames {
+		img.Times[i] = fr.Time
+		img.Power[i] = fr.Power
+		img.Bartlett[i] = fr.Bartlett
+		img.MotionPower[i] = fr.MotionPower
+		img.SignalDim[i] = fr.SignalDim
+	}
+	return img
+}
+
+// computeFrames runs ProcessFrame over every spec, fanning out over up
+// to `workers` goroutines. Results land in their spec's index slot, so
+// the frame order — and therefore the assembled image — is deterministic
+// for any worker count. The first error (or a context cancellation)
+// stops the remaining work.
+func (p *Processor) computeFrames(ctx context.Context, h []complex128, specs []FrameSpec, music bool, workers int) ([]Frame, error) {
+	frames := make([]Frame, len(specs))
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	if workers <= 1 {
+		for _, spec := range specs {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			fr, err := p.ProcessFrame(h, spec, music)
+			if err != nil {
+				return nil, err
+			}
+			frames[spec.Index] = fr
+		}
+		return frames, nil
+	}
+
+	// Fan-out: workers pull spec indices from a shared cursor; fan-in is
+	// positional, so scheduling never reorders frames. The calling
+	// goroutine always works; extra workers spawn only up to the global
+	// frameTokens budget.
+	var (
+		wg       sync.WaitGroup
+		next     int
+		nextMu   sync.Mutex
+		firstErr error
+		errOnce  sync.Once
+	)
+	stop, cancel := context.WithCancel(ctx)
+	defer cancel()
+	fail := func(err error) {
+		errOnce.Do(func() { firstErr = err })
+		cancel()
+	}
+	take := func() int {
+		nextMu.Lock()
+		defer nextMu.Unlock()
+		i := next
+		next++
+		return i
+	}
+	work := func() {
+		for {
+			if stop.Err() != nil {
+				return
+			}
+			i := take()
+			if i >= len(specs) {
+				return
+			}
+			fr, err := p.ProcessFrame(h, specs[i], music)
+			if err != nil {
+				fail(err)
+				return
+			}
+			frames[specs[i].Index] = fr
+		}
+	}
+	for w := 1; w < workers; w++ {
+		select {
+		case frameTokens <- struct{}{}:
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-frameTokens }()
+				work()
+			}()
+		default:
+			// Machine already saturated by other captures; run narrower.
+		}
+	}
+	work()
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return frames, nil
+}

@@ -1,10 +1,10 @@
 package isar
 
 import (
+	"context"
 	"fmt"
 	"math"
 
-	"wivi/internal/cmath"
 	"wivi/internal/dsp"
 )
 
@@ -84,51 +84,41 @@ func (im *Image) DominantAngles(f, k int, excludeDeg float64) []float64 {
 // ComputeImage runs the smoothed-MUSIC chain (§5.2) over the channel time
 // series h and returns the angle-time image.
 func (p *Processor) ComputeImage(h []complex128) (*Image, error) {
-	return p.computeImage(h, true)
+	return p.computeImage(context.Background(), h, true, 1)
+}
+
+// ComputeImageCtx is ComputeImage with context cancellation and per-frame
+// fan-out over up to `workers` goroutines. The frames are independent
+// stages (see frame.go) assembled by index, so the result is identical to
+// ComputeImage for every worker count; workers <= 1 runs sequentially.
+func (p *Processor) ComputeImageCtx(ctx context.Context, h []complex128, workers int) (*Image, error) {
+	return p.computeImage(ctx, h, true, workers)
 }
 
 // ComputeBeamformImage runs plain Eq. 5.1 beamforming over h — the
 // ablation baseline for smoothed MUSIC (§5.2 notes MUSIC's sharper peaks
 // and §7's figures are all produced with smoothed MUSIC).
 func (p *Processor) ComputeBeamformImage(h []complex128) (*Image, error) {
-	return p.computeImage(h, false)
+	return p.computeImage(context.Background(), h, false, 1)
 }
 
-func (p *Processor) computeImage(h []complex128, music bool) (*Image, error) {
+// ComputeBeamformImageCtx is ComputeBeamformImage with cancellation and
+// per-frame fan-out, mirroring ComputeImageCtx.
+func (p *Processor) ComputeBeamformImageCtx(ctx context.Context, h []complex128, workers int) (*Image, error) {
+	return p.computeImage(ctx, h, false, workers)
+}
+
+func (p *Processor) computeImage(ctx context.Context, h []complex128, music bool, workers int) (*Image, error) {
 	w := p.cfg.Window
 	if len(h) < w {
 		return nil, fmt.Errorf("isar: %d samples < window %d", len(h), w)
 	}
-	img := &Image{ThetaDeg: p.thetasDeg}
-	for start := 0; start+w <= len(h); start += p.cfg.Hop {
-		window := h[start : start+w]
-		var spec, bart []float64
-		dim := 1
-		r, err := p.SmoothedCorrelation(window)
-		if err != nil {
-			return nil, err
-		}
-		bart = p.BartlettSpectrum(r)
-		if music {
-			eig, err := cmath.HermitianEig(r)
-			if err != nil {
-				return nil, fmt.Errorf("isar: frame at sample %d: %w", start, err)
-			}
-			dim = p.EstimateSignalDim(eig.Values)
-			spec = p.MUSICSpectrum(eig.NoiseSubspace(dim))
-		} else {
-			spec, err = p.BeamformSpectrum(window)
-			if err != nil {
-				return nil, err
-			}
-		}
-		img.Power = append(img.Power, spec)
-		img.Bartlett = append(img.Bartlett, bart)
-		img.Times = append(img.Times, (float64(start)+float64(w)/2)*p.cfg.SampleT)
-		img.MotionPower = append(img.MotionPower, motionPower(window))
-		img.SignalDim = append(img.SignalDim, dim)
+	specs := p.FrameSpecs(len(h))
+	frames, err := p.computeFrames(ctx, h, specs, music, workers)
+	if err != nil {
+		return nil, err
 	}
-	return img, nil
+	return p.assembleImage(frames), nil
 }
 
 // motionPower returns the mean-removed average power of a window: the

@@ -1,0 +1,271 @@
+// Package pipeline is the concurrent tracking engine: it multiplexes
+// many independent track captures over a bounded worker pool, turning
+// the one-shot Device.Track call into a servable batch primitive.
+//
+// The parallelism model follows the physics. One radio is a stateful
+// instrument (AGC, oscillator phase, noise), so captures of a single
+// device serialize inside core.Device; different scenes have different
+// devices and run fully in parallel. Within one capture, the ISAR chain
+// fans out per frame (see internal/isar's stage decomposition) and fans
+// back in by index. Both levels are deterministic: submitting the same
+// requests yields byte-identical images for every worker count, because
+// no result depends on goroutine scheduling — only on each device's own
+// measurement stream.
+//
+//	eng := pipeline.New(pipeline.Config{Workers: 8})
+//	defer eng.Close()
+//	results := eng.TrackBatch(ctx, reqs) // results[i] matches reqs[i]
+//
+// Submit gives the async form: it returns a Handle future immediately
+// (blocking only when the bounded queue is full), and Handle.Wait joins
+// the result. Cancellation is cooperative — a canceled context fails
+// queued requests before their capture starts and stops in-flight frame
+// processing between frames.
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+
+	"wivi/internal/core"
+	"wivi/internal/isar"
+)
+
+// Tracker is one track-capable device. *core.Device implements it; tests
+// substitute fakes.
+type Tracker interface {
+	// TrackCtx captures duration seconds starting at startT and returns
+	// the angle-time image plus the underlying trace.
+	TrackCtx(ctx context.Context, startT, duration float64) (*isar.Image, *core.Trace, error)
+}
+
+// Config sizes the engine.
+type Config struct {
+	// Workers is the number of scene-level workers; default GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds the submit queue (Submit blocks when it is
+	// full); default 2*Workers.
+	QueueDepth int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 2 * c.Workers
+	}
+	return c
+}
+
+// Request is one tracking capture to schedule.
+type Request struct {
+	// Tracker is the device to drive.
+	Tracker Tracker
+	// StartT and Duration delimit the capture in seconds.
+	StartT, Duration float64
+}
+
+// Result is the outcome of one request.
+type Result struct {
+	// Image is the angle-time image (nil on error).
+	Image *isar.Image
+	// Trace is the captured channel trace (nil on error).
+	Trace *core.Trace
+	// Err reports the failure, including context cancellation.
+	Err error
+}
+
+// Handle is the future for a submitted request.
+type Handle struct {
+	done chan struct{}
+	res  Result
+}
+
+// Done returns a channel closed when the result is ready.
+func (h *Handle) Done() <-chan struct{} { return h.done }
+
+// Wait blocks until the result is ready or ctx is done. A result that is
+// already ready is always returned, even when ctx is also done — work
+// that completed is never discarded. On cancellation it returns a Result
+// carrying ctx's error; the request itself may still complete in the
+// background.
+func (h *Handle) Wait(ctx context.Context) Result {
+	select {
+	case <-h.done:
+		return h.res
+	default:
+	}
+	select {
+	case <-h.done:
+		return h.res
+	case <-ctx.Done():
+		return Result{Err: ctx.Err()}
+	}
+}
+
+type job struct {
+	ctx context.Context
+	req Request
+	h   *Handle
+}
+
+// ErrClosed is returned by Submit after Close, and delivered to handles
+// whose requests were still queued when the engine shut down.
+var ErrClosed = errors.New("pipeline: engine closed")
+
+// Engine is a bounded worker pool executing tracking requests.
+type Engine struct {
+	cfg  Config
+	jobs chan job
+	quit chan struct{}
+	wg   sync.WaitGroup
+
+	// mu guards closed; inflight counts Submits past the closed check,
+	// so Close can wait out every concurrent enqueue before it drains
+	// the queue. The blocking send itself happens outside any lock, so
+	// a Submit stuck on a full queue unblocks the moment quit closes.
+	mu       sync.Mutex
+	closed   bool
+	inflight sync.WaitGroup
+}
+
+// New starts an engine with cfg's worker pool.
+func New(cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	e := &Engine{
+		cfg:  cfg,
+		jobs: make(chan job, cfg.QueueDepth),
+		quit: make(chan struct{}),
+	}
+	e.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go e.worker()
+	}
+	return e
+}
+
+// Workers returns the pool size.
+func (e *Engine) Workers() int { return e.cfg.Workers }
+
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	for {
+		// Give quit strict priority over queued work: once Close fires, a
+		// worker finishing its capture exits here instead of draining the
+		// queue, so still-queued requests fail fast with ErrClosed.
+		select {
+		case <-e.quit:
+			return
+		default:
+		}
+		select {
+		case <-e.quit:
+			return
+		case j := <-e.jobs:
+			// The select picks uniformly when quit and a queued job are
+			// ready at once; re-checking quit here makes the shutdown
+			// contract hold either way — a request fails with ErrClosed
+			// unless its execution began before Close fired.
+			select {
+			case <-e.quit:
+				j.h.res = Result{Err: ErrClosed}
+				close(j.h.done)
+				return
+			default:
+			}
+			j.h.res = run(j.ctx, j.req)
+			close(j.h.done)
+		}
+	}
+}
+
+func run(ctx context.Context, req Request) Result {
+	if req.Tracker == nil {
+		return Result{Err: errors.New("pipeline: nil tracker")}
+	}
+	if err := ctx.Err(); err != nil {
+		return Result{Err: err}
+	}
+	img, tr, err := req.Tracker.TrackCtx(ctx, req.StartT, req.Duration)
+	return Result{Image: img, Trace: tr, Err: err}
+}
+
+// Submit enqueues one request and returns its future. It blocks while
+// the queue is full, until ctx is done, or until the engine closes. The
+// request observes ctx again when a worker picks it up and during its
+// frame processing.
+func (e *Engine) Submit(ctx context.Context, req Request) (*Handle, error) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, ErrClosed
+	}
+	e.inflight.Add(1)
+	e.mu.Unlock()
+	defer e.inflight.Done()
+	h := &Handle{done: make(chan struct{})}
+	select {
+	case e.jobs <- job{ctx: ctx, req: req, h: h}:
+		return h, nil
+	case <-e.quit:
+		return nil, ErrClosed
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// TrackBatch submits every request and waits for all of them; the
+// returned slice is in request order (results[i] answers reqs[i]),
+// independent of completion order.
+func (e *Engine) TrackBatch(ctx context.Context, reqs []Request) []Result {
+	handles := make([]*Handle, len(reqs))
+	results := make([]Result, len(reqs))
+	for i, r := range reqs {
+		h, err := e.Submit(ctx, r)
+		if err != nil {
+			results[i] = Result{Err: err}
+			continue
+		}
+		handles[i] = h
+	}
+	for i, h := range handles {
+		if h == nil {
+			continue
+		}
+		results[i] = h.Wait(ctx)
+	}
+	return results
+}
+
+// Close stops the workers and fails any still-queued requests with
+// ErrClosed; Submits blocked on a full queue unblock immediately with
+// ErrClosed. It waits for in-flight captures to finish. Close is
+// idempotent; Submit after Close returns ErrClosed.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		e.wg.Wait()
+		return
+	}
+	e.closed = true
+	e.mu.Unlock()
+	close(e.quit)
+	// No Submit passes the closed check anymore; once the in-flight ones
+	// return (enqueued, unblocked by quit, or canceled), the queue is
+	// final and the drain below reaches every leftover handle.
+	e.inflight.Wait()
+	e.wg.Wait()
+	for {
+		select {
+		case j := <-e.jobs:
+			j.h.res = Result{Err: ErrClosed}
+			close(j.h.done)
+		default:
+			return
+		}
+	}
+}

@@ -1,0 +1,341 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"wivi/internal/core"
+	"wivi/internal/isar"
+)
+
+// Compile-time check: the integrated device is a Tracker.
+var _ Tracker = (*core.Device)(nil)
+
+// fakeTracker stamps its id into the image so ordering is observable.
+type fakeTracker struct {
+	id    int
+	delay time.Duration
+	err   error
+	calls atomic.Int32
+}
+
+func (f *fakeTracker) TrackCtx(ctx context.Context, startT, duration float64) (*isar.Image, *core.Trace, error) {
+	f.calls.Add(1)
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	if f.delay > 0 {
+		select {
+		case <-time.After(f.delay):
+		case <-ctx.Done():
+			return nil, nil, ctx.Err()
+		}
+	}
+	if f.err != nil {
+		return nil, nil, f.err
+	}
+	return &isar.Image{Times: []float64{float64(f.id), startT, duration}}, nil, nil
+}
+
+func TestBatchPreservesRequestOrder(t *testing.T) {
+	eng := New(Config{Workers: 8})
+	defer eng.Close()
+	const n = 50
+	reqs := make([]Request, n)
+	for i := range reqs {
+		// Later requests finish first, so completion order inverts
+		// submission order; the results must not.
+		reqs[i] = Request{
+			Tracker:  &fakeTracker{id: i, delay: time.Duration(n-i) * 100 * time.Microsecond},
+			Duration: 1,
+		}
+	}
+	results := eng.TrackBatch(context.Background(), reqs)
+	if len(results) != n {
+		t.Fatalf("got %d results, want %d", len(results), n)
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("request %d failed: %v", i, r.Err)
+		}
+		if got := int(r.Image.Times[0]); got != i {
+			t.Fatalf("results[%d] carries tracker %d", i, got)
+		}
+	}
+}
+
+func TestSubmitHandleWait(t *testing.T) {
+	eng := New(Config{Workers: 2})
+	defer eng.Close()
+	h, err := eng.Submit(context.Background(), Request{Tracker: &fakeTracker{id: 7}, StartT: 2, Duration: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := h.Wait(context.Background())
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.Image.Times[0] != 7 || res.Image.Times[1] != 2 || res.Image.Times[2] != 3 {
+		t.Fatalf("request fields not threaded through: %v", res.Image.Times)
+	}
+	select {
+	case <-h.Done():
+	default:
+		t.Fatal("Done not closed after Wait")
+	}
+}
+
+func TestErrorPropagation(t *testing.T) {
+	eng := New(Config{Workers: 1})
+	defer eng.Close()
+	boom := errors.New("boom")
+	results := eng.TrackBatch(context.Background(), []Request{
+		{Tracker: &fakeTracker{id: 0}, Duration: 1},
+		{Tracker: &fakeTracker{id: 1, err: boom}, Duration: 1},
+		{Tracker: nil},
+	})
+	if results[0].Err != nil {
+		t.Fatalf("healthy request failed: %v", results[0].Err)
+	}
+	if !errors.Is(results[1].Err, boom) {
+		t.Fatalf("error not propagated: %v", results[1].Err)
+	}
+	if results[2].Err == nil {
+		t.Fatal("nil tracker accepted")
+	}
+}
+
+func TestCancellationMidFlight(t *testing.T) {
+	eng := New(Config{Workers: 2, QueueDepth: 256})
+	defer eng.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	const n = 100
+	handles := make([]*Handle, 0, n)
+	for i := 0; i < n; i++ {
+		h, err := eng.Submit(ctx, Request{
+			Tracker:  &fakeTracker{id: i, delay: 200 * time.Microsecond},
+			Duration: 1,
+		})
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		handles = append(handles, h)
+	}
+	// Let a few complete, then cancel the rest mid-flight.
+	res0 := handles[0].Wait(context.Background())
+	if res0.Err != nil {
+		t.Fatalf("first request failed before cancel: %v", res0.Err)
+	}
+	cancel()
+	completed, canceled := 0, 0
+	for i, h := range handles {
+		res := h.Wait(context.Background())
+		switch {
+		case res.Err == nil:
+			completed++
+			if int(res.Image.Times[0]) != i {
+				t.Fatalf("results[%d] carries tracker %v", i, res.Image.Times[0])
+			}
+		case errors.Is(res.Err, context.Canceled):
+			canceled++
+		default:
+			t.Fatalf("request %d: unexpected error %v", i, res.Err)
+		}
+	}
+	if completed == 0 {
+		t.Fatal("no request completed before cancel")
+	}
+	if canceled == 0 {
+		t.Fatal("no request observed the cancellation")
+	}
+}
+
+func TestSubmitBlockedOnFullQueueHonorsContext(t *testing.T) {
+	eng := New(Config{Workers: 1, QueueDepth: 1})
+	defer eng.Close()
+	release := make(chan struct{})
+	blocker := &slowTracker{release: release}
+	if _, err := eng.Submit(context.Background(), Request{Tracker: blocker, Duration: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Fill the queue (the worker is blocked on `release`).
+	fillQueue(t, eng)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, err := eng.Submit(ctx, Request{Tracker: &fakeTracker{}, Duration: 1}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("blocked Submit returned %v, want deadline exceeded", err)
+	}
+	close(release)
+}
+
+// fillQueue stuffs the engine's queue until Submit would block.
+func fillQueue(t *testing.T, eng *Engine) {
+	t.Helper()
+	for {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+		_, err := eng.Submit(ctx, Request{Tracker: &fakeTracker{}, Duration: 1})
+		cancel()
+		if errors.Is(err, context.DeadlineExceeded) {
+			return
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+type slowTracker struct {
+	started chan struct{} // closed when the capture begins (may be nil)
+	release chan struct{}
+}
+
+func (s *slowTracker) TrackCtx(ctx context.Context, startT, duration float64) (*isar.Image, *core.Trace, error) {
+	if s.started != nil {
+		close(s.started)
+	}
+	select {
+	case <-s.release:
+		return &isar.Image{}, nil, nil
+	case <-ctx.Done():
+		return nil, nil, ctx.Err()
+	}
+}
+
+func TestCloseFailsQueuedAndRejectsSubmit(t *testing.T) {
+	eng := New(Config{Workers: 1, QueueDepth: 16})
+	started := make(chan struct{})
+	release := make(chan struct{})
+	first, err := eng.Submit(context.Background(), Request{
+		Tracker:  &slowTracker{started: started, release: release},
+		Duration: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started // the capture is genuinely in flight before Close fires
+	var queued []*Handle
+	for i := 0; i < 8; i++ {
+		h, err := eng.Submit(context.Background(), Request{Tracker: &fakeTracker{id: i}, Duration: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		queued = append(queued, h)
+	}
+	done := make(chan struct{})
+	go func() {
+		eng.Close()
+		close(done)
+	}()
+	time.Sleep(5 * time.Millisecond)
+	close(release) // let the in-flight capture finish so Close can join
+	<-done
+	res := first.Wait(context.Background())
+	if res.Err != nil {
+		t.Fatalf("in-flight request did not run to completion: %v", res.Err)
+	}
+	// With quit prioritized over queued work, the sole worker was busy
+	// with the in-flight capture when Close fired, so every queued
+	// request must fail fast with ErrClosed.
+	for i, h := range queued {
+		res := h.Wait(context.Background())
+		if !errors.Is(res.Err, ErrClosed) {
+			t.Fatalf("queued request %d: got %v, want ErrClosed", i, res.Err)
+		}
+	}
+	if _, err := eng.Submit(context.Background(), Request{Tracker: &fakeTracker{}, Duration: 1}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Submit after Close returned %v, want ErrClosed", err)
+	}
+	eng.Close() // idempotent
+}
+
+// TestCloseUnblocksFullQueueSubmit: a Submit parked on a full queue must
+// return ErrClosed the moment Close fires, not wait for the in-flight
+// capture to drain the queue.
+func TestCloseUnblocksFullQueueSubmit(t *testing.T) {
+	eng := New(Config{Workers: 1, QueueDepth: 1})
+	started := make(chan struct{})
+	release := make(chan struct{})
+	if _, err := eng.Submit(context.Background(), Request{
+		Tracker:  &slowTracker{started: started, release: release},
+		Duration: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if _, err := eng.Submit(context.Background(), Request{Tracker: &fakeTracker{}, Duration: 1}); err != nil {
+		t.Fatal(err) // fills the one-slot queue
+	}
+	errc := make(chan error, 1)
+	go func() {
+		_, err := eng.Submit(context.Background(), Request{Tracker: &fakeTracker{}, Duration: 1})
+		errc <- err
+	}()
+	time.Sleep(2 * time.Millisecond) // let the Submit park on the full queue
+	closed := make(chan struct{})
+	go func() {
+		eng.Close()
+		close(closed)
+	}()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("blocked Submit returned %v, want ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Submit still blocked after Close")
+	}
+	close(release) // let the in-flight capture finish so Close can join
+	<-closed
+}
+
+// TestConcurrentSubmitStress hammers Submit from many goroutines with a
+// cancellation mid-flight; run with -race.
+func TestConcurrentSubmitStress(t *testing.T) {
+	eng := New(Config{Workers: 4, QueueDepth: 8})
+	defer eng.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	var completed, canceled atomic.Int32
+	for g := 0; g < 10; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				h, err := eng.Submit(ctx, Request{
+					Tracker:  &fakeTracker{id: g*10 + i, delay: 50 * time.Microsecond},
+					Duration: 1,
+				})
+				if err != nil {
+					canceled.Add(1)
+					continue
+				}
+				if res := h.Wait(context.Background()); res.Err == nil {
+					completed.Add(1)
+				} else {
+					canceled.Add(1)
+				}
+			}
+		}(g)
+	}
+	time.Sleep(2 * time.Millisecond)
+	cancel()
+	wg.Wait()
+	if got := completed.Load() + canceled.Load(); got != 100 {
+		t.Fatalf("%d requests accounted for, want 100", got)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	eng := New(Config{})
+	defer eng.Close()
+	if eng.Workers() < 1 {
+		t.Fatalf("default workers %d", eng.Workers())
+	}
+	if cap(eng.jobs) != 2*eng.Workers() {
+		t.Fatalf("default queue depth %d, want %d", cap(eng.jobs), 2*eng.Workers())
+	}
+}

@@ -5,7 +5,12 @@ import (
 	"wivi/internal/isar"
 )
 
-// renderHeatmap delegates to the evaluation harness's ASCII renderer.
+// renderHeatmap is a thin re-export of eval.RenderHeatmap, which is the
+// canonical ASCII angle-time renderer (internal/eval/render.go). The
+// public package keeps only this indirection so TrackingResult.Heatmap
+// has no rendering logic of its own: any change to the heatmap look
+// belongs in internal/eval, where the evaluation harness and the
+// wivi-bench reports consume the very same renderer.
 func renderHeatmap(img *isar.Image, width, height int) []string {
 	return eval.RenderHeatmap(img, width, height)
 }

@@ -1,0 +1,180 @@
+package wivi
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// trackDuration is one emulated-array window plus margin: long enough
+// for a real image, short enough to keep the suite fast.
+const trackDuration = 0.5
+
+// newTrackedDevice builds a deterministic one-walker scene and its
+// device. Identical seeds yield identical devices with independent but
+// reproducible measurement streams, which is what the byte-identity
+// tests below rely on.
+func newTrackedDevice(t testing.TB, seed int64) *Device {
+	t.Helper()
+	sc := NewScene(SceneOptions{Seed: seed})
+	if err := sc.AddWalker(2); err != nil {
+		t.Fatal(err)
+	}
+	dev, err := NewDevice(sc, DeviceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dev
+}
+
+// TestTrackManyMatchesSequential asserts the engine's batch output is
+// byte-identical to per-scene sequential Track for several worker
+// counts: parallelism must never change the physics.
+func TestTrackManyMatchesSequential(t *testing.T) {
+	seeds := []int64{3, 4, 5, 6, 7}
+	want := make([]*TrackingResult, len(seeds))
+	for i, seed := range seeds {
+		res, err := newTrackedDevice(t, seed).Track(trackDuration)
+		if err != nil {
+			t.Fatalf("sequential track of scene %d: %v", i, err)
+		}
+		want[i] = res
+	}
+	for _, workers := range []int{1, 4, runtime.NumCPU()} {
+		devices := make([]*Device, len(seeds))
+		for i, seed := range seeds {
+			devices[i] = newTrackedDevice(t, seed)
+		}
+		got, err := TrackMany(context.Background(), devices, trackDuration, TrackManyOptions{Workers: workers})
+		if err != nil {
+			t.Fatalf("TrackMany(workers=%d): %v", workers, err)
+		}
+		for i := range seeds {
+			if got[i] == nil {
+				t.Fatalf("TrackMany(workers=%d): scene %d missing", workers, i)
+			}
+			if !got[i].Equal(want[i]) {
+				t.Fatalf("TrackMany(workers=%d): scene %d image differs from sequential Track", workers, i)
+			}
+		}
+	}
+}
+
+// TestFrameWorkersOptionIdentity asserts the DeviceOptions.FrameWorkers
+// knob changes scheduling only, never the image.
+func TestFrameWorkersOptionIdentity(t *testing.T) {
+	track := func(frameWorkers int) *TrackingResult {
+		sc := NewScene(SceneOptions{Seed: 21})
+		if err := sc.AddWalker(2); err != nil {
+			t.Fatal(err)
+		}
+		dev, err := NewDevice(sc, DeviceOptions{FrameWorkers: frameWorkers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := dev.Track(trackDuration)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	want := track(1)
+	for _, fw := range []int{0, 8} {
+		if !track(fw).Equal(want) {
+			t.Fatalf("FrameWorkers=%d image differs from sequential imaging", fw)
+		}
+	}
+}
+
+// TestTrackCtxMatchesTrack asserts the shared-engine path returns the
+// same image as a fresh identical device's Track.
+func TestTrackCtxMatchesTrack(t *testing.T) {
+	want, err := newTrackedDevice(t, 11).Track(trackDuration)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := newTrackedDevice(t, 11).TrackCtx(context.Background(), trackDuration)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatal("TrackCtx image differs from Track")
+	}
+}
+
+func TestTrackCtxCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := newTrackedDevice(t, 12).TrackCtx(ctx, trackDuration); !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}
+
+func TestTrackManyEdgeCases(t *testing.T) {
+	if res, err := TrackMany(context.Background(), nil, 1, TrackManyOptions{}); err != nil || res != nil {
+		t.Fatalf("empty batch: %v, %v", res, err)
+	}
+	// A nil device fails its own scene but the rest of the batch runs.
+	devices := []*Device{newTrackedDevice(t, 13), nil}
+	out, err := TrackMany(context.Background(), devices, trackDuration, TrackManyOptions{})
+	if err == nil {
+		t.Fatal("nil device accepted")
+	}
+	if len(out) != 2 || out[0] == nil || out[1] != nil {
+		t.Fatalf("partial results not honored: %v", out)
+	}
+	// Invalid duration surfaces per scene but still returns the slice.
+	out, err = TrackMany(context.Background(), devices[:1], -1, TrackManyOptions{})
+	if err == nil {
+		t.Fatal("negative duration accepted")
+	}
+	if len(out) != 1 || out[0] != nil {
+		t.Fatalf("failed scene should be nil in results: %v", out)
+	}
+}
+
+// TestTrackManyStressCancellation submits 100 concurrent scenes and
+// cancels mid-flight; with -race this doubles as the engine's data-race
+// stress test. Scenes that ran before the cancel must carry real images;
+// the rest must fail with context.Canceled.
+func TestTrackManyStressCancellation(t *testing.T) {
+	const n = 100
+	devices := make([]*Device, n)
+	for i := range devices {
+		devices[i] = newTrackedDevice(t, int64(100+i))
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	out, err := TrackMany(ctx, devices, 0.35, TrackManyOptions{Workers: 4})
+	if err == nil {
+		// The whole batch beat the cancel; nothing left to assert on the
+		// cancellation path, but every scene must be present.
+		for i, r := range out {
+			if r == nil {
+				t.Fatalf("scene %d missing from fully-completed batch", i)
+			}
+		}
+		return
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("batch error %v, want context.Canceled", err)
+	}
+	completed := 0
+	for _, r := range out {
+		if r != nil {
+			completed++
+			if r.NumFrames() < 1 {
+				t.Fatal("completed scene has no frames")
+			}
+		}
+	}
+	if completed == n {
+		t.Fatal("error reported but every scene completed")
+	}
+	t.Logf("completed %d/%d scenes before cancellation", completed, n)
+}

@@ -22,14 +22,18 @@
 package wivi
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"reflect"
 	"strings"
+	"sync"
 
 	"wivi/internal/core"
 	"wivi/internal/detect"
 	"wivi/internal/isar"
 	"wivi/internal/motion"
+	"wivi/internal/pipeline"
 	"wivi/internal/rf"
 	"wivi/internal/sim"
 )
@@ -168,6 +172,11 @@ type DeviceOptions struct {
 	StandoffMeters float64
 	// Seed drives the device's noise; defaults to the scene seed.
 	Seed int64
+	// FrameWorkers bounds the per-capture ISAR frame fan-out; 0 means
+	// one per CPU, 1 disables it (fully sequential imaging). The worker
+	// count never affects the output image, only the scheduling — see
+	// internal/isar's stage decomposition.
+	FrameWorkers int
 }
 
 // Device is a Wi-Vi device observing one scene.
@@ -192,7 +201,11 @@ func NewDevice(scene *Scene, opts DeviceOptions) (*Device, error) {
 	if err != nil {
 		return nil, err
 	}
-	pipeline, err := core.New(fe, core.DefaultConfig(fe))
+	cfg := core.DefaultConfig(fe)
+	if opts.FrameWorkers > 0 {
+		cfg.FrameWorkers = opts.FrameWorkers
+	}
+	pipeline, err := core.New(fe, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -224,18 +237,107 @@ type TrackingResult struct {
 	dev *Device
 }
 
+// sharedEngine is the lazily started engine behind Track and TrackCtx: a
+// bounded worker pool sized to the machine, shared by every device so
+// independent callers multiplex instead of oversubscribing.
+var (
+	engineOnce   sync.Once
+	sharedEngine *pipeline.Engine
+)
+
+func defaultEngine() *pipeline.Engine {
+	engineOnce.Do(func() { sharedEngine = pipeline.New(pipeline.Config{}) })
+	return sharedEngine
+}
+
 // Track nulls (if needed), captures duration seconds and runs the
 // smoothed-MUSIC ISAR chain (§5).
 func (d *Device) Track(duration float64) (*TrackingResult, error) {
-	img, _, err := d.pipeline.Track(0, duration)
+	return d.TrackCtx(context.Background(), duration)
+}
+
+// TrackCtx is Track with cancellation. The capture is scheduled on the
+// shared concurrent engine: captures of one device serialize (a radio is
+// one stateful instrument) while different devices and the per-frame
+// ISAR stages run in parallel, so the result is identical to a direct
+// sequential Track.
+func (d *Device) TrackCtx(ctx context.Context, duration float64) (*TrackingResult, error) {
+	h, err := defaultEngine().Submit(ctx, pipeline.Request{Tracker: d.pipeline, Duration: duration})
 	if err != nil {
 		return nil, err
 	}
-	return &TrackingResult{img: img, dev: d}, nil
+	res := h.Wait(ctx)
+	if res.Err != nil {
+		return nil, res.Err
+	}
+	return &TrackingResult{img: res.Image, dev: d}, nil
+}
+
+// TrackManyOptions configures a batch tracking run.
+type TrackManyOptions struct {
+	// Workers bounds the scene-level worker pool. 0 routes the batch
+	// through the shared per-process engine (one worker per CPU), so
+	// concurrent callers multiplex instead of oversubscribing; a
+	// positive value runs the batch on a private pool of that size. The
+	// output never depends on the worker count — only on each device's
+	// own measurement stream.
+	Workers int
+}
+
+// TrackMany captures duration seconds on every device concurrently,
+// multiplexing the scenes over a bounded worker pool with context
+// cancellation. results[i] belongs to devices[i] and is identical to
+// what devices[i].Track(duration) would have returned. On failure the
+// error reports the first failing scene (a nil device counts as one)
+// while the remaining entries are still returned; failed scenes are nil
+// in the slice.
+func TrackMany(ctx context.Context, devices []*Device, duration float64, opts TrackManyOptions) ([]*TrackingResult, error) {
+	if len(devices) == 0 {
+		return nil, nil
+	}
+	reqs := make([]pipeline.Request, len(devices))
+	for i, d := range devices {
+		reqs[i] = pipeline.Request{Duration: duration}
+		if d != nil {
+			reqs[i].Tracker = d.pipeline
+		}
+	}
+	var results []pipeline.Result
+	if opts.Workers == 0 {
+		results = defaultEngine().TrackBatch(ctx, reqs)
+	} else {
+		eng := pipeline.New(pipeline.Config{Workers: opts.Workers, QueueDepth: len(reqs)})
+		defer eng.Close()
+		results = eng.TrackBatch(ctx, reqs)
+	}
+	out := make([]*TrackingResult, len(devices))
+	var firstErr error
+	for i, r := range results {
+		if r.Err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("wivi: scene %d: %w", i, r.Err)
+			}
+			continue
+		}
+		out[i] = &TrackingResult{img: r.Image, dev: devices[i]}
+	}
+	return out, firstErr
 }
 
 // NumFrames returns the number of angle-spectrum frames.
 func (r *TrackingResult) NumFrames() int { return r.img.NumFrames() }
+
+// Equal reports whether two tracking results carry bit-identical
+// angle-time images (every spectrum value, frame time and per-frame
+// metadatum). The concurrent engine guarantees Equal results for the
+// same scene whatever the worker count; wivi-bench's batch mode checks
+// exactly this.
+func (r *TrackingResult) Equal(other *TrackingResult) bool {
+	if r == nil || other == nil {
+		return r == other
+	}
+	return reflect.DeepEqual(r.img, other.img)
+}
 
 // FrameTime returns the center time of frame f in seconds.
 func (r *TrackingResult) FrameTime(f int) float64 { return r.img.Times[f] }
