@@ -1,7 +1,7 @@
 # Tier-1 gate, mirrored by .github/workflows/ci.yml.
-.PHONY: check vet build test bench
+.PHONY: check vet build examples test smoke bench
 
-check: vet build test
+check: vet build examples test smoke
 
 vet:
 	go vet ./...
@@ -9,8 +9,18 @@ vet:
 build:
 	go build ./...
 
+# Examples are plain main packages; building them explicitly makes API
+# drift in documentation code fail CI even if ./... pruning changes.
+examples:
+	go build ./examples/...
+
 test:
 	go test -race ./...
+
+# Streaming smoke: stream 4 scenes, verify byte-identity with batch
+# Track and that the first frame lands well before the capture ends.
+smoke:
+	go run ./cmd/wivi-bench -stream -batch 4 -trackdur 2
 
 # Engine throughput: sequential vs parallel batch tracking.
 bench:

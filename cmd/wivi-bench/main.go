@@ -8,12 +8,20 @@
 //	wivi-bench -run F7.4            # a single experiment by ID
 //	wivi-bench -workers 8           # experiments fan out over 8 workers
 //	wivi-bench -batch 32 -workers 8 # engine throughput mode (see below)
+//	wivi-bench -stream -batch 4     # streaming latency mode (see below)
 //
 // Throughput mode (-batch N) exercises the concurrent tracking engine
 // instead of the evaluation suite: it builds N independent one-walker
 // scenes, tracks them sequentially and then through wivi.TrackMany at
 // -workers, verifies the two result sets render identically, and reports
 // scenes/second plus the parallel speedup.
+//
+// Streaming mode (-stream, with -batch N scenes) exercises the
+// incremental tracking chain: each scene is tracked once through batch
+// Track and once through TrackStream, the streamed result is verified
+// byte-identical to batch, and the mode reports time-to-first-frame
+// (which must be a small fraction of the full capture), mean and max
+// inter-frame latency, and throughput.
 package main
 
 import (
@@ -41,10 +49,24 @@ func main() {
 		workers  = flag.Int("workers", 0, "worker pool size for experiments and -batch mode (0 = one per CPU)")
 		batch    = flag.Int("batch", 0, "engine throughput mode: track this many scenes instead of running experiments")
 		trackDur = flag.Float64("trackdur", 4, "per-scene capture duration in seconds for -batch mode")
+		stream   = flag.Bool("stream", false, "streaming latency mode over -batch scenes (default 4): time-to-first-frame, inter-frame latency, batch-identity check")
 	)
 	flag.Parse()
 	if *workers < 1 {
 		*workers = runtime.GOMAXPROCS(0)
+	}
+
+	if *stream {
+		if *run != "" || *quick {
+			log.Fatal("-stream runs the streaming latency mode and is incompatible with -run/-quick")
+		}
+		if *batch < 1 {
+			*batch = 4
+		}
+		if err := runStreamMode(*batch, *seed, *trackDur); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 
 	if *batch > 0 {
@@ -126,6 +148,100 @@ func runExperiments(exps []eval.Experiment, opts eval.Options, workers int, emit
 		<-done[i]
 		emit(reports[i])
 	}
+}
+
+// runStreamMode measures the streaming chain's latency profile against
+// the batch baseline on identical scenes: time-to-first-frame (the
+// batch path's first frame arrives only after the whole capture),
+// inter-frame latency, and the byte-identity check.
+func runStreamMode(batch int, seed int64, trackDur float64) error {
+	fmt.Printf("streaming latency: %d scenes x %.1fs capture\n", batch, trackDur)
+	buildDevice := func(i int) (*wivi.Device, error) {
+		sc := wivi.NewScene(wivi.SceneOptions{Seed: seed + int64(i)})
+		if err := sc.AddWalker(trackDur + 1); err != nil {
+			return nil, err
+		}
+		return wivi.NewDevice(sc, wivi.DeviceOptions{})
+	}
+
+	var (
+		ttffSum, interSum, interMax, batchSum, streamSum float64
+		interN                                           int
+	)
+	for i := 0; i < batch; i++ {
+		// Batch baseline on a fresh identical scene (nulling included, so
+		// both paths pay the same auto-null cost).
+		dev, err := buildDevice(i)
+		if err != nil {
+			return err
+		}
+		batchStart := time.Now()
+		want, err := dev.Track(trackDur)
+		if err != nil {
+			return fmt.Errorf("batch scene %d: %w", i, err)
+		}
+		batchElapsed := time.Since(batchStart).Seconds()
+
+		sdev, err := buildDevice(i)
+		if err != nil {
+			return err
+		}
+		streamStart := time.Now()
+		ts, err := sdev.TrackStream(context.Background(), trackDur)
+		if err != nil {
+			return fmt.Errorf("stream scene %d: %w", i, err)
+		}
+		var ttff float64
+		last := streamStart
+		frames := 0
+		for range ts.Frames() {
+			now := time.Now()
+			if frames == 0 {
+				ttff = now.Sub(streamStart).Seconds()
+			} else {
+				gap := now.Sub(last).Seconds()
+				interSum += gap
+				if gap > interMax {
+					interMax = gap
+				}
+				interN++
+			}
+			last = now
+			frames++
+		}
+		got, err := ts.Result()
+		if err != nil {
+			return fmt.Errorf("stream scene %d: %w", i, err)
+		}
+		streamElapsed := time.Since(streamStart).Seconds()
+
+		// The streamed image must be byte-identical to batch Track.
+		if !got.Equal(want) {
+			return fmt.Errorf("scene %d: streamed result differs from batch Track", i)
+		}
+		if frames != want.NumFrames() {
+			return fmt.Errorf("scene %d: streamed %d frames, batch has %d", i, frames, want.NumFrames())
+		}
+		ttffSum += ttff
+		batchSum += batchElapsed
+		streamSum += streamElapsed
+		fmt.Printf("  scene %d: %3d frames, first frame %6.1fms (%4.1f%% of stream), stream %6.1fms, batch-to-first-output %6.1fms\n",
+			i, frames, ttff*1e3, 100*ttff/streamElapsed, streamElapsed*1e3, batchElapsed*1e3)
+	}
+	n := float64(batch)
+	fmt.Printf("  time-to-first-frame: %.1fms mean (batch path: %.1fms — the whole capture)\n",
+		ttffSum/n*1e3, batchSum/n*1e3)
+	if interN > 0 {
+		fmt.Printf("  inter-frame latency: %.2fms mean, %.2fms max over %d gaps\n",
+			interSum/float64(interN)*1e3, interMax*1e3, interN)
+	}
+	fmt.Printf("  throughput: %.2f scenes/s streamed (%.2f batch); outputs identical across %d scenes\n",
+		n/streamSum, n/batchSum, batch)
+	if mean := ttffSum / n; mean > 0.5*streamSum/n {
+		return fmt.Errorf("time-to-first-frame %.1fms is not small relative to the %.1fms capture — streaming latency regressed",
+			mean*1e3, streamSum/n*1e3)
+	}
+	return nil
 }
 
 // runBatchMode measures the concurrent engine's scene throughput against

@@ -5,9 +5,11 @@
 //	wivi-trace record -o walk.wivi -humans 2 -duration 8
 //	wivi-trace info walk.wivi
 //	wivi-trace replay walk.wivi
+//	wivi-trace replay -live walk.wivi   # through the streaming chain
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -34,8 +36,15 @@ func main() {
 		requireFileArg(os.Args[2:])
 		info(os.Args[2])
 	case "replay":
-		requireFileArg(os.Args[2:])
-		replay(os.Args[2])
+		fs := flag.NewFlagSet("replay", flag.ExitOnError)
+		live := fs.Bool("live", false, "replay through the streaming chain, one frame per line")
+		_ = fs.Parse(os.Args[2:])
+		requireFileArg(fs.Args())
+		if *live {
+			replayLive(fs.Arg(0))
+		} else {
+			replay(fs.Arg(0))
+		}
 	default:
 		usage()
 	}
@@ -106,7 +115,7 @@ func info(path string) {
 
 func replay(path string) {
 	rec := readTrace(path)
-	combined, err := ofdm.CombineSubcarriers(rec.PerSub)
+	combined, err := ofdm.AverageSubcarriers(rec.PerSub)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -125,6 +134,50 @@ func replay(path string) {
 	for _, line := range eval.RenderHeatmap(img, 72, 21) {
 		fmt.Println(line)
 	}
+}
+
+// replayLive replays a recorded trace through the same incremental
+// chain a live streamed capture runs — chunked samples through the
+// per-sample averaging combiner, frames scheduled as windows close —
+// rendering each frame as it emits. The recording stands in for the radio via core.EmitChunks,
+// the batch-compatibility side of the streaming front-end contract.
+func replayLive(path string) {
+	rec := readTrace(path)
+	cfg := isar.DefaultConfig()
+	cfg.Lambda = rec.Lambda
+	cfg.SampleT = rec.SampleT
+	proc, err := isar.NewProcessor(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	streamer := proc.NewStreamer(isar.StreamConfig{})
+	done := make(chan struct{})
+	frames := 0
+	go func() {
+		defer close(done)
+		const width = 72
+		fmt.Println(eval.LiveAxisHeader(width))
+		for fr := range streamer.Frames() {
+			fmt.Println(eval.LiveFrameLine(fr.Time, fr.Power, width))
+			frames++
+		}
+	}()
+	err = core.EmitChunks(rec.PerSub, cfg.Hop, func(sub [][]complex128) error {
+		combined, err := ofdm.AverageSubcarriers(sub)
+		if err != nil {
+			return err
+		}
+		return streamer.Append(context.Background(), combined)
+	})
+	streamer.CloseInput()
+	<-done
+	if err == nil {
+		err = streamer.Err()
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nstreamed %d frames from %s\n", frames, path)
 }
 
 func readTrace(path string) *trace.Record {

@@ -5,11 +5,13 @@
 // Examples:
 //
 //	wivi -mode track -humans 2 -duration 8
+//	wivi -mode track -live -duration 8      # frames render as they arrive
 //	wivi -mode gesture -bits 0110 -distance 5
 //	wivi -mode count -humans 3
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -32,6 +34,7 @@ func main() {
 		bitsStr  = flag.String("bits", "01", "gesture message bits, e.g. 0110")
 		width    = flag.Int("width", 72, "heatmap width")
 		height   = flag.Int("height", 21, "heatmap height")
+		live     = flag.Bool("live", false, "track mode: stream the capture, rendering each frame as it arrives")
 	)
 	flag.Parse()
 
@@ -63,6 +66,12 @@ func main() {
 		}
 		fmt.Printf("nulling: %.1f dB of static-path suppression (%d iterations)\n",
 			null.AchievedDB, null.Iterations)
+		if *live && *mode == "track" {
+			if err := liveTrack(dev, *duration, *width); err != nil {
+				log.Fatal(err)
+			}
+			return
+		}
 		res, err := dev.Track(*duration)
 		if err != nil {
 			log.Fatal(err)
@@ -108,6 +117,31 @@ func main() {
 	default:
 		log.Fatalf("unknown mode %q", *mode)
 	}
+}
+
+// liveTrack streams the capture and renders the angle-time image as it
+// accrues, one frame per line — the Fig. 5-2 image built column by
+// column, transposed so time flows down the terminal. The assembled
+// result is identical to batch Track.
+func liveTrack(dev *wivi.Device, duration float64, width int) error {
+	ts, err := dev.TrackStream(context.Background(), duration)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("streaming %d frames (time flows down; -90° left, +90° right = toward the device):\n\n", ts.TotalFrames())
+	fmt.Println(wivi.RenderFrameHeader(width))
+	for fr := range ts.Frames() {
+		fmt.Println(wivi.RenderFrameLine(fr, width))
+	}
+	if err := ts.Err(); err != nil {
+		return err
+	}
+	res, err := ts.Result()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nstreamed %d frames; spatial variance %.1f\n", res.NumFrames(), res.SpatialVariance())
+	return nil
 }
 
 func parseWall(name string) (wivi.Material, error) {

@@ -1,6 +1,7 @@
 package wivi_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -40,6 +41,42 @@ func Example_tracking() {
 	}
 	_ = res.Heatmap(72, 21)
 	fmt.Println(res.NumFrames() > 0)
+	// Output: true
+}
+
+// Example_streamingTracking shows the incremental tracking workflow:
+// frames arrive while the capture is still running (the first after
+// ~0.32 s of samples instead of after the whole capture), and the
+// assembled result is byte-identical to batch Track.
+func Example_streamingTracking() {
+	scene := wivi.NewScene(wivi.SceneOptions{Seed: 42})
+	if err := scene.AddWalker(6); err != nil {
+		log.Fatal(err)
+	}
+	dev, err := wivi.NewDevice(scene, wivi.DeviceOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	stream, err := dev.TrackStream(context.Background(), 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	frames := 0
+	for frame := range stream.Frames() {
+		// Each frame is one column of the Fig. 5-2 angle-time image;
+		// render it live with wivi.RenderSpectrumLine, or inspect
+		// frame.Time and frame.Power directly.
+		_ = frame
+		frames++
+	}
+	if err := stream.Err(); err != nil {
+		log.Fatal(err)
+	}
+	res, err := stream.Result() // identical to dev.Track(4)'s result
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(frames == res.NumFrames() && frames == stream.TotalFrames())
 	// Output: true
 }
 

@@ -81,6 +81,10 @@ type Config struct {
 	// for every worker count). Values <= 1 process frames sequentially;
 	// DefaultConfig uses GOMAXPROCS.
 	FrameWorkers int
+	// StreamChunk is the default capture chunk, in samples, for streamed
+	// tracking (TrackStreamCtx with StreamOptions.ChunkSamples == 0).
+	// Defaults to the ISAR hop: one potential new frame per chunk.
+	StreamChunk int
 }
 
 // DefaultConfig returns the paper-matched pipeline configuration for a
@@ -94,6 +98,7 @@ func DefaultConfig(fe FrontEnd) Config {
 		ISAR:         ic,
 		Gesture:      gesture.DefaultDecoderConfig(float64(ic.Hop) * ic.SampleT),
 		FrameWorkers: runtime.GOMAXPROCS(0),
+		StreamChunk:  ic.Hop,
 	}
 }
 
@@ -148,6 +153,9 @@ func New(fe FrontEnd, cfg Config) (*Device, error) {
 	cfg.ISAR.Lambda = fe.Wavelength()
 	cfg.ISAR.SampleT = fe.SampleT()
 	cfg.Gesture.FrameT = float64(cfg.ISAR.Hop) * cfg.ISAR.SampleT
+	if cfg.StreamChunk <= 0 {
+		cfg.StreamChunk = cfg.ISAR.Hop
+	}
 	proc, err := isar.NewProcessor(cfg.ISAR)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
@@ -234,7 +242,11 @@ func (d *Device) CaptureTraceCtx(ctx context.Context, startT, duration float64) 
 	if err != nil {
 		return nil, fmt.Errorf("core: capture: %w", err)
 	}
-	combined, err := ofdm.CombineSubcarriers(perSub)
+	// Causal per-sample averaging, not the acausal whole-capture
+	// alignment: batch and streamed captures must run the identical
+	// combining math for the stream/batch byte-identity guarantee to
+	// hold (see ofdm.AverageSubcarriers for why alignment is skipped).
+	combined, err := ofdm.AverageSubcarriers(perSub)
 	if err != nil {
 		return nil, fmt.Errorf("core: combining subcarriers: %w", err)
 	}

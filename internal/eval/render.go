@@ -69,6 +69,76 @@ func RenderHeatmap(img *isar.Image, width, height int) []string {
 	return rows
 }
 
+// RenderSpectrumLine draws one angular spectrum (in dB, ascending theta)
+// as a single ASCII line of width cells, -90° on the left and +90° on
+// the right — the live-streaming form of RenderHeatmap, where time flows
+// down the terminal one frame per line instead of across it. Intensity
+// is normalized against the fixed [0, maxDB] range so consecutive lines
+// are comparable as they accrue.
+func RenderSpectrumLine(db []float64, width int, maxDB float64) string {
+	if len(db) == 0 || width < 1 {
+		return ""
+	}
+	if maxDB <= 0 {
+		maxDB = 1
+	}
+	var sb strings.Builder
+	for c := 0; c < width; c++ {
+		ti := c * (len(db) - 1) / max(width-1, 1)
+		v := db[ti] / maxDB
+		idx := int(v * float64(len(heatmapRamp)-1))
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(heatmapRamp) {
+			idx = len(heatmapRamp) - 1
+		}
+		sb.WriteByte(heatmapRamp[idx])
+	}
+	return sb.String()
+}
+
+// LiveAxisHeader returns the angle-axis header line for live frame
+// rendering, aligned with LiveFrameLine's geometry: the frame line is a
+// 7-rune time stamp, '|', width spectrum cells, '|'; the header places
+// "-90°" over the first cells, "0°" centered on the middle cell and
+// "+90°" ending over the last cell.
+func LiveAxisHeader(width int) string {
+	row := make([]rune, 8+width+1)
+	for i := range row {
+		row[i] = ' '
+	}
+	place := func(label string, at int) {
+		rs := []rune(label)
+		if at < 0 {
+			at = 0
+		}
+		if at+len(rs) > len(row) {
+			at = len(row) - len(rs)
+		}
+		copy(row[at:], rs)
+	}
+	place("-90°", 8)
+	place("0°", 8+width/2-1)
+	place("+90°", 8+width-4)
+	return string(row)
+}
+
+// LiveFrameLine renders one streamed frame — its center time and
+// pseudospectrum — as a live heatmap line: the dB conversion of
+// Image.PowerDB applied to a single frame, drawn by RenderSpectrumLine
+// against the fixed 40 dB range both live CLIs share.
+func LiveFrameLine(timeSec float64, power []float64, width int) string {
+	db := make([]float64, len(power))
+	for i, v := range power {
+		if v < 1 {
+			v = 1
+		}
+		db[i] = 20 * math.Log10(v)
+	}
+	return fmt.Sprintf("%5.1fs |%s|", timeSec, RenderSpectrumLine(db, width, 40))
+}
+
 // RenderCDF draws an empirical CDF as an ASCII step plot.
 func RenderCDF(name string, samples []float64, width, height int) []string {
 	if len(samples) == 0 || width < 2 || height < 2 {

@@ -132,6 +132,9 @@ type StepEvent struct {
 	Dir motion.StepDirection
 	// SNRdB is the matched-filter peak SNR.
 	SNRdB float64
+	// MatchedAbs is the absolute matched-filter output at the peak (the
+	// raw series-level energy of the step, before any SNR compression).
+	MatchedAbs float64
 }
 
 // Result reports the decoder output.
@@ -323,18 +326,32 @@ func DecodeWithPower(series, power, times []float64, cfg DecoderConfig) (*Result
 			dir = motion.StepBackward
 		}
 		res.Steps = append(res.Steps, StepEvent{
-			Time:  times[p.Index],
-			Dir:   dir,
-			SNRdB: stepSNR(p.Index),
+			Time:       times[p.Index],
+			Dir:        dir,
+			SNRdB:      stepSNR(p.Index),
+			MatchedAbs: math.Abs(p.Value),
 		})
 	}
 	// Pair consecutive opposite steps into bits. A pair must be opposite
 	// in direction, close in time, and balanced in energy; when a
 	// candidate pair is imbalanced, the weaker step is discarded as a
-	// sway artifact and pairing resumes from the stronger one.
+	// sway artifact and pairing resumes from the stronger one. Balance is
+	// checked on BOTH energy scales: the physical step SNR and the raw
+	// matched-filter amplitude. The SNR compresses near the gate (motion
+	// power saturates at short range), so a pre-step body sway can tie a
+	// genuine step's SNR while its matched amplitude — which tracks the
+	// series directly — sits 20 dB below; a real forward/backward pair is
+	// comparable on both.
 	imbalance := cfg.MaxStepImbalanceDB
 	if imbalance <= 0 {
 		imbalance = 12
+	}
+	ampImbalanced := func(a, b StepEvent) (bool, bool) {
+		if a.MatchedAbs <= 0 || b.MatchedAbs <= 0 {
+			return a.MatchedAbs < b.MatchedAbs, true
+		}
+		diff := 20 * math.Log10(a.MatchedAbs/b.MatchedAbs)
+		return a.MatchedAbs < b.MatchedAbs, diff > imbalance || diff < -imbalance
 	}
 	pending := append([]StepEvent(nil), res.Steps...)
 	for i := 0; i < len(pending); {
@@ -348,9 +365,14 @@ func DecodeWithPower(series, power, times []float64, cfg DecoderConfig) (*Result
 			i++
 			continue
 		}
-		if diff := a.SNRdB - b.SNRdB; diff > imbalance || diff < -imbalance {
+		aWeakerAmp, ampBad := ampImbalanced(a, b)
+		if diff := a.SNRdB - b.SNRdB; diff > imbalance || diff < -imbalance || ampBad {
 			res.UnpairedSteps++
-			if a.SNRdB < b.SNRdB {
+			aWeaker := a.SNRdB < b.SNRdB
+			if ampBad {
+				aWeaker = aWeakerAmp
+			}
+			if aWeaker {
 				i++ // drop the weaker leading step
 			} else {
 				// Drop the weaker trailing step; retry pairing a with the

@@ -1,0 +1,124 @@
+package gesture
+
+import (
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"wivi/internal/motion"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden gesture fixture")
+
+const goldenPath = "testdata/golden_decode.json"
+
+// goldenDecode is the serialized fixture shape: the decoder's full
+// observable output on a deterministic noisy four-bit message.
+type goldenDecode struct {
+	Bits          []int     `json:"bits"`
+	BitSNRsDB     []float64 `json:"bit_snrs_db"`
+	BitTimes      []float64 `json:"bit_times"`
+	StepTimes     []float64 `json:"step_times"`
+	StepDirs      []int     `json:"step_dirs"`
+	StepSNRsDB    []float64 `json:"step_snrs_db"`
+	UnpairedSteps int       `json:"unpaired_steps"`
+	Erasures      int       `json:"erasures"`
+	NoiseFloor    float64   `json:"noise_floor"`
+}
+
+// TestGoldenDecode locks the §6.2 decoding chain: matched filter, peak
+// detection, pairing and SNR gating over a deterministic noisy series
+// must reproduce the checked-in fixture exactly, so decoder refactors
+// cannot silently move step times, SNRs or the noise floor. Regenerate
+// with `go test ./internal/gesture -run TestGoldenDecode -update` after
+// an intentional decoder change. Mirrors internal/isar's golden-fixture
+// pattern.
+func TestGoldenDecode(t *testing.T) {
+	bits := []motion.Bit{motion.Bit0, motion.Bit1, motion.Bit1, motion.Bit0}
+	series, times := synthSeries(bits, 0.9, 0.04, 99)
+	res, err := Decode(series, times, decCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := goldenDecode{
+		BitSNRsDB:     res.BitSNRsDB,
+		BitTimes:      res.BitTimes,
+		UnpairedSteps: res.UnpairedSteps,
+		Erasures:      res.Erasures,
+		NoiseFloor:    res.NoiseFloor,
+	}
+	for _, b := range res.Bits {
+		got.Bits = append(got.Bits, int(b))
+	}
+	for _, s := range res.Steps {
+		got.StepTimes = append(got.StepTimes, s.Time)
+		got.StepDirs = append(got.StepDirs, int(s.Dir))
+		got.StepSNRsDB = append(got.StepSNRsDB, s.SNRdB)
+	}
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.MarshalIndent(got, "", " ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bits, %d steps)", goldenPath, len(got.Bits), len(got.StepTimes))
+		return
+	}
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing fixture (run with -update to create): %v", err)
+	}
+	var want goldenDecode
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	compareInts(t, "Bits", got.Bits, want.Bits)
+	compareInts(t, "StepDirs", got.StepDirs, want.StepDirs)
+	if got.UnpairedSteps != want.UnpairedSteps {
+		t.Errorf("UnpairedSteps = %d, want %d", got.UnpairedSteps, want.UnpairedSteps)
+	}
+	if got.Erasures != want.Erasures {
+		t.Errorf("Erasures = %d, want %d", got.Erasures, want.Erasures)
+	}
+	compareSeries(t, "BitSNRsDB", got.BitSNRsDB, want.BitSNRsDB)
+	compareSeries(t, "BitTimes", got.BitTimes, want.BitTimes)
+	compareSeries(t, "StepTimes", got.StepTimes, want.StepTimes)
+	compareSeries(t, "StepSNRsDB", got.StepSNRsDB, want.StepSNRsDB)
+	compareSeries(t, "NoiseFloor", []float64{got.NoiseFloor}, []float64{want.NoiseFloor})
+}
+
+// goldenTol absorbs cross-platform floating-point differences; a decoder
+// change moves step times by whole frames and SNRs by tenths of dB.
+const goldenTol = 1e-9
+
+func compareInts(t *testing.T, name string, got, want []int) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s = %v, want %v", name, got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s[%d] = %d, want %d", name, i, got[i], want[i])
+		}
+	}
+}
+
+func compareSeries(t *testing.T, name string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s length %d, want %d", name, len(got), len(want))
+	}
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > goldenTol*math.Max(1, math.Abs(want[i])) {
+			t.Fatalf("%s[%d] = %v, want %v", name, i, got[i], want[i])
+		}
+	}
+}

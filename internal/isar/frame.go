@@ -115,9 +115,10 @@ func (p *Processor) ProcessFrame(h []complex128, spec FrameSpec, music bool) (Fr
 	return fr, nil
 }
 
-// assembleImage folds processed frames (already in index order) into an
-// Image.
-func (p *Processor) assembleImage(frames []Frame) *Image {
+// AssembleImage folds processed frames (already in index order) into an
+// Image — the final stage of both the batch chain and the Streamer, so a
+// streamed capture assembles into the identical Image.
+func (p *Processor) AssembleImage(frames []Frame) *Image {
 	img := &Image{
 		ThetaDeg:    p.thetasDeg,
 		Times:       make([]float64, len(frames)),

@@ -118,7 +118,7 @@ func (p *Processor) computeImage(ctx context.Context, h []complex128, music bool
 	if err != nil {
 		return nil, err
 	}
-	return p.assembleImage(frames), nil
+	return p.AssembleImage(frames), nil
 }
 
 // motionPower returns the mean-removed average power of a window: the

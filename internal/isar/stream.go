@@ -1,0 +1,200 @@
+package isar
+
+// Streaming form of the stage decomposition in frame.go: instead of
+// slicing a complete capture into FrameSpecs and fanning them out, a
+// Streamer consumes the channel stream incrementally and schedules each
+// frame the moment its window closes, while later windows are still
+// filling. ProcessFrame is reused verbatim, and frames are emitted in
+// index order through a reorder buffer, so the frame sequence — and any
+// image assembled from it — is bit-identical to the batch chain for
+// every worker count and every input chunking.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// StreamConfig parameterizes a Streamer.
+type StreamConfig struct {
+	// Workers bounds the per-stream frame fan-out, mirroring the workers
+	// argument of ComputeImageCtx: the appending goroutine always makes
+	// progress, and up to Workers-1 extra goroutines are borrowed from the
+	// process-wide frameTokens budget. Values <= 1 process every frame
+	// inline on the Append call. The worker count never affects the
+	// emitted frames, only the scheduling.
+	Workers int
+	// Beamform selects the plain Eq. 5.1 beamformer stage instead of
+	// smoothed MUSIC, mirroring ComputeBeamformImageCtx.
+	Beamform bool
+}
+
+// Streamer incrementally turns a channel sample stream into ordered
+// Frames. Usage:
+//
+//	s := p.NewStreamer(StreamConfig{Workers: 4})
+//	go consume(s.Frames())          // receives frames in index order
+//	for each chunk {
+//	    if err := s.Append(ctx, chunk); err != nil { break }
+//	}
+//	s.CloseInput()                  // Frames() closes once all are out
+//	err := s.Err()                  // first frame error, if any
+//
+// Append must be called from a single goroutine (the capture loop); the
+// Frames channel must be drained, or the pipeline stalls by design
+// (backpressure toward the producer).
+type Streamer struct {
+	p     *Processor
+	music bool
+
+	// Producer-side state, touched only by the Append goroutine.
+	h    []complex128
+	next int // next frame index to schedule
+
+	// extra holds local slots for borrowed worker goroutines.
+	extra chan struct{}
+	wg    sync.WaitGroup
+
+	results chan Frame
+	out     chan Frame
+
+	errOnce sync.Once
+	errMu   sync.Mutex
+	err     error
+	failed  chan struct{}
+}
+
+// NewStreamer builds a Streamer over the processor's window geometry.
+func (p *Processor) NewStreamer(cfg StreamConfig) *Streamer {
+	extra := cfg.Workers - 1
+	if extra < 0 {
+		extra = 0
+	}
+	s := &Streamer{
+		p:       p,
+		music:   !cfg.Beamform,
+		extra:   make(chan struct{}, extra),
+		results: make(chan Frame, 1),
+		out:     make(chan Frame),
+		failed:  make(chan struct{}),
+	}
+	go s.collect()
+	return s
+}
+
+// collect reorders completed frames by index and emits them in order.
+func (s *Streamer) collect() {
+	pending := make(map[int]Frame)
+	emit := 0
+	for fr := range s.results {
+		pending[fr.Spec.Index] = fr
+		for {
+			next, ok := pending[emit]
+			if !ok {
+				break
+			}
+			delete(pending, emit)
+			s.out <- next
+			emit++
+		}
+	}
+	close(s.out)
+}
+
+// Frames returns the ordered frame channel. It closes after CloseInput
+// once every scheduled frame has been emitted, or early after a frame
+// error (check Err).
+func (s *Streamer) Frames() <-chan Frame { return s.out }
+
+// Err returns the first frame-processing error, if any.
+func (s *Streamer) Err() error {
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	return s.err
+}
+
+func (s *Streamer) fail(err error) {
+	s.errOnce.Do(func() {
+		s.errMu.Lock()
+		s.err = err
+		s.errMu.Unlock()
+		close(s.failed)
+	})
+}
+
+// Append extends the channel stream with samples and schedules every
+// frame whose window just closed. It returns the stream's first error
+// (frame failure or context cancellation); after an error the stream is
+// dead and CloseInput should follow.
+func (s *Streamer) Append(ctx context.Context, samples []complex128) error {
+	if err := ctx.Err(); err != nil {
+		s.fail(err)
+		return err
+	}
+	if err := s.Err(); err != nil {
+		return err
+	}
+	s.h = append(s.h, samples...)
+	w := s.p.cfg.Window
+	hop := s.p.cfg.Hop
+	for s.next*hop+w <= len(s.h) {
+		spec := FrameSpec{Index: s.next, Start: s.next * hop}
+		s.next++
+		s.dispatch(s.h, spec)
+		if err := s.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Scheduled returns how many frames have been scheduled so far.
+func (s *Streamer) Scheduled() int { return s.next }
+
+// dispatch runs one frame, on a borrowed goroutine when both a local
+// slot and a global frame token are free, else inline on the Append
+// goroutine — the same always-progress policy as computeFrames. h is an
+// immutable snapshot: a later Append may reallocate s.h, but this
+// slice's backing array keeps the samples the frame reads.
+func (s *Streamer) dispatch(h []complex128, spec FrameSpec) {
+	select {
+	case s.extra <- struct{}{}:
+		select {
+		case frameTokens <- struct{}{}:
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				defer func() { <-frameTokens; <-s.extra }()
+				s.runFrame(h, spec)
+			}()
+			return
+		default:
+			<-s.extra
+		}
+	default:
+	}
+	s.runFrame(h, spec)
+}
+
+func (s *Streamer) runFrame(h []complex128, spec FrameSpec) {
+	fr, err := s.p.ProcessFrame(h, spec, s.music)
+	if err != nil {
+		s.fail(fmt.Errorf("isar: streaming frame %d: %w", spec.Index, err))
+		return
+	}
+	select {
+	case s.results <- fr:
+	case <-s.failed:
+		// A sibling frame failed; the collector may already be gone.
+	}
+}
+
+// CloseInput marks the end of the sample stream. Once in-flight frames
+// finish, the results funnel closes and Frames drains then closes.
+// Append must not be called afterwards.
+func (s *Streamer) CloseInput() {
+	go func() {
+		s.wg.Wait()
+		close(s.results)
+	}()
+}

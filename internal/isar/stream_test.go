@@ -1,0 +1,177 @@
+package isar
+
+import (
+	"context"
+	"reflect"
+	"testing"
+)
+
+// streamImage runs the Streamer over h in chunks and assembles the
+// emitted frames into an image.
+func streamImage(t *testing.T, p *Processor, h []complex128, chunk, workers int, beamform bool) (*Image, error) {
+	t.Helper()
+	s := p.NewStreamer(StreamConfig{Workers: workers, Beamform: beamform})
+	var frames []Frame
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for fr := range s.Frames() {
+			frames = append(frames, fr)
+		}
+	}()
+	var appendErr error
+	for off := 0; off < len(h) && appendErr == nil; off += chunk {
+		end := off + chunk
+		if end > len(h) {
+			end = len(h)
+		}
+		appendErr = s.Append(context.Background(), h[off:end])
+	}
+	s.CloseInput()
+	<-done
+	if appendErr != nil {
+		return nil, appendErr
+	}
+	if err := s.Err(); err != nil {
+		return nil, err
+	}
+	for i, fr := range frames {
+		if fr.Spec.Index != i {
+			t.Fatalf("frame %d emitted at position %d: ordering broken", fr.Spec.Index, i)
+		}
+	}
+	return p.AssembleImage(frames), nil
+}
+
+// TestStreamerMatchesBatch is the core streaming invariant: whatever the
+// chunk size and worker count, the streamed frames assemble into an
+// image byte-identical to the batch chain's.
+func TestStreamerMatchesBatch(t *testing.T) {
+	cfg := goldenConfig()
+	p, err := NewProcessor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := goldenChannel(cfg, 512)
+	want, err := p.ComputeImage(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, chunk := range []int{1, 16, 17, 64, 512} {
+		for _, workers := range []int{1, 4} {
+			got, err := streamImage(t, p, h, chunk, workers, false)
+			if err != nil {
+				t.Fatalf("chunk=%d workers=%d: %v", chunk, workers, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("chunk=%d workers=%d: streamed image differs from batch", chunk, workers)
+			}
+		}
+	}
+	// The beamform stage streams through the same path.
+	wantBF, err := p.ComputeBeamformImage(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotBF, err := streamImage(t, p, h, 32, 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotBF, wantBF) {
+		t.Fatal("streamed beamform image differs from batch")
+	}
+}
+
+// TestStreamerEmitsBeforeInputCloses verifies actual streaming: frames
+// whose windows closed are observable while later samples have not been
+// appended yet.
+func TestStreamerEmitsBeforeInputCloses(t *testing.T) {
+	cfg := goldenConfig()
+	p, err := NewProcessor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := goldenChannel(cfg, 256)
+	s := p.NewStreamer(StreamConfig{Workers: 1})
+	// One window exactly: frame 0 must arrive with no further input.
+	if err := s.Append(context.Background(), h[:cfg.Window]); err != nil {
+		t.Fatal(err)
+	}
+	fr, open := <-s.Frames()
+	if !open {
+		t.Fatal("frame channel closed early")
+	}
+	if fr.Spec.Index != 0 {
+		t.Fatalf("first frame index %d", fr.Spec.Index)
+	}
+	// Drain concurrently from here on: with Workers 1 the frames process
+	// inline on Append, and an undrained Frames channel backpressures the
+	// producer by design.
+	counted := make(chan int)
+	go func() {
+		count := 1
+		for range s.Frames() {
+			count++
+		}
+		counted <- count
+	}()
+	if err := s.Append(context.Background(), h[cfg.Window:]); err != nil {
+		t.Fatal(err)
+	}
+	s.CloseInput()
+	count := <-counted
+	if want := len(p.FrameSpecs(256)); count != want {
+		t.Fatalf("emitted %d frames, want %d", count, want)
+	}
+	if s.Scheduled() != count {
+		t.Fatalf("scheduled %d != emitted %d", s.Scheduled(), count)
+	}
+}
+
+func TestStreamerShortCapture(t *testing.T) {
+	cfg := goldenConfig()
+	p, err := NewProcessor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := p.NewStreamer(StreamConfig{})
+	if err := s.Append(context.Background(), goldenChannel(cfg, cfg.Window-1)); err != nil {
+		t.Fatal(err)
+	}
+	s.CloseInput()
+	if _, open := <-s.Frames(); open {
+		t.Fatal("short capture emitted a frame")
+	}
+	if s.Err() != nil {
+		t.Fatal(s.Err())
+	}
+}
+
+func TestStreamerCanceled(t *testing.T) {
+	cfg := goldenConfig()
+	p, err := NewProcessor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := p.NewStreamer(StreamConfig{Workers: 4})
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		for range s.Frames() {
+		}
+	}()
+	ctx, cancel := context.WithCancel(context.Background())
+	h := goldenChannel(cfg, 256)
+	if err := s.Append(ctx, h[:128]); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	if err := s.Append(ctx, h[128:]); err != context.Canceled {
+		t.Fatalf("Append after cancel = %v, want context.Canceled", err)
+	}
+	s.CloseInput()
+	<-drained
+	if s.Err() != context.Canceled {
+		t.Fatalf("Err = %v, want context.Canceled", s.Err())
+	}
+}

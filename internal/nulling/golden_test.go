@@ -1,0 +1,150 @@
+package nulling
+
+import (
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden nulling fixture")
+
+const goldenPath = "testdata/golden_nulling.json"
+
+// goldenSounder builds a fully deterministic noisy channel: fixed seeds
+// drive the channels, the injected stage-1 estimation errors and the
+// per-measurement noise stream, so Algorithm 1's entire trajectory —
+// precoder, refined estimates, residual history — reproduces bit-for-bit
+// on every run. Mirrors internal/isar's golden-fixture pattern.
+func goldenSounder() *synthSounder {
+	s := newSynth(77, 12)
+	est := newSynth(78, 12)
+	s.estErr1 = make([]complex128, 12)
+	s.estErr2 = make([]complex128, 12)
+	for k := range s.estErr1 {
+		s.estErr1[k] = est.h1[k] * 0.02
+		s.estErr2[k] = est.h2[k] * 0.02
+	}
+	s.measNoise = 1e-6
+	return s
+}
+
+// goldenNulling is the serialized fixture shape; complex slices are
+// stored as [re, im] pairs.
+type goldenNulling struct {
+	P          [][2]float64 `json:"p"`
+	H1         [][2]float64 `json:"h1"`
+	H2         [][2]float64 `json:"h2"`
+	Residual   [][2]float64 `json:"residual"`
+	History    []float64    `json:"history"`
+	Iterations int          `json:"iterations"`
+	PreNullRMS float64      `json:"pre_null_rms"`
+	AchievedDB float64      `json:"achieved_db"`
+}
+
+func pairs(xs []complex128) [][2]float64 {
+	out := make([][2]float64, len(xs))
+	for i, x := range xs {
+		out[i] = [2]float64{real(x), imag(x)}
+	}
+	return out
+}
+
+// TestGoldenNulling locks the physics of Algorithm 1: the three-phase
+// nulling outcome on a deterministic noisy channel must match the
+// checked-in fixture within a tight relative tolerance, so refactors of
+// the nulling loop cannot silently change its convergence. Regenerate
+// with `go test ./internal/nulling -run TestGoldenNulling -update` after
+// an intentional algorithm change.
+func TestGoldenNulling(t *testing.T) {
+	res, err := Run(goldenSounder(), Config{BoostDB: 12, MaxIterations: 8, ConvergeRel: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := goldenNulling{
+		P:          pairs(res.P),
+		H1:         pairs(res.H1),
+		H2:         pairs(res.H2),
+		Residual:   pairs(res.Residual),
+		History:    res.History,
+		Iterations: res.Iterations,
+		PreNullRMS: res.PreNullRMS,
+		AchievedDB: res.AchievedNullingDB(),
+	}
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.MarshalIndent(got, "", " ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d iterations, %.1f dB)", goldenPath, got.Iterations, got.AchievedDB)
+		return
+	}
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing fixture (run with -update to create): %v", err)
+	}
+	var want goldenNulling
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	if got.Iterations != want.Iterations {
+		t.Errorf("Iterations = %d, want %d", got.Iterations, want.Iterations)
+	}
+	comparePairs(t, "P", got.P, want.P)
+	comparePairs(t, "H1", got.H1, want.H1)
+	comparePairs(t, "H2", got.H2, want.H2)
+	comparePairs(t, "Residual", got.Residual, want.Residual)
+	compareFloats(t, "History", got.History, want.History)
+	compareScalar(t, "PreNullRMS", got.PreNullRMS, want.PreNullRMS)
+	compareScalar(t, "AchievedDB", got.AchievedDB, want.AchievedDB)
+}
+
+// goldenTol absorbs cross-platform floating-point differences; an
+// algorithm change moves the trajectory by far more. The residual values
+// sit ~7 orders of magnitude below the channels, so tolerances are
+// relative with a floor at the measurement-noise scale.
+const (
+	goldenTol   = 1e-9
+	goldenFloor = 1e-12
+)
+
+func compareScalar(t *testing.T, name string, got, want float64) {
+	t.Helper()
+	if math.Abs(got-want) > goldenTol*math.Max(1, math.Abs(want)) {
+		t.Errorf("%s = %v, want %v", name, got, want)
+	}
+}
+
+func compareFloats(t *testing.T, name string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s length %d, want %d", name, len(got), len(want))
+	}
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > goldenTol*math.Abs(want[i])+goldenFloor {
+			t.Fatalf("%s[%d] = %v, want %v", name, i, got[i], want[i])
+		}
+	}
+}
+
+func comparePairs(t *testing.T, name string, got, want [][2]float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s length %d, want %d", name, len(got), len(want))
+	}
+	for i := range got {
+		for j := 0; j < 2; j++ {
+			if math.Abs(got[i][j]-want[i][j]) > goldenTol*math.Abs(want[i][j])+goldenFloor {
+				t.Fatalf("%s[%d][%d] = %v, want %v", name, i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+}

@@ -109,6 +109,30 @@ func EstimateChannel(rx []complex128, p *Preamble) ([]complex128, error) {
 	return h, nil
 }
 
+// ActiveSubcarriers returns the non-nil subcarrier series of a capture
+// after validating that they share one length — the common prologue of
+// every combiner (and of the streaming chunk adapter), kept in one
+// place so batch combining and stream chunking can never diverge on how
+// inactive bins or ragged input are treated.
+func ActiveSubcarriers(hs [][]complex128) ([][]complex128, error) {
+	var active [][]complex128
+	for _, h := range hs {
+		if len(h) > 0 {
+			active = append(active, h)
+		}
+	}
+	if len(active) == 0 {
+		return nil, fmt.Errorf("ofdm: need at least one active subcarrier")
+	}
+	n := len(active[0])
+	for _, h := range active {
+		if len(h) != n {
+			return nil, fmt.Errorf("ofdm: ragged subcarrier input")
+		}
+	}
+	return active, nil
+}
+
 // CombineSubcarriers coherently combines per-subcarrier channel time
 // series into one stream, improving SNR (§7.1: "The channel measurements
 // across the different subcarriers are combined to improve the SNR").
@@ -120,22 +144,18 @@ func EstimateChannel(rx []complex128, p *Preamble) ([]complex128, error) {
 // phase offset determined by the path delays. The combiner aligns each
 // subcarrier to the reference subcarrier using the time-averaged
 // cross-phase, then averages.
+//
+// CombineSubcarriers aligns over the whole capture at once (acausal),
+// which is fine for offline analysis but cannot stream: no combined
+// sample is computable before the last raw sample arrives. The capture
+// pipeline uses AverageSubcarriers instead — see its doc for why the
+// alignment is skipped entirely there.
 func CombineSubcarriers(hs [][]complex128) ([]complex128, error) {
-	var active [][]complex128
-	for _, h := range hs {
-		if len(h) > 0 {
-			active = append(active, h)
-		}
-	}
-	if len(active) == 0 {
-		return nil, fmt.Errorf("ofdm: CombineSubcarriers needs at least one subcarrier")
+	active, err := ActiveSubcarriers(hs)
+	if err != nil {
+		return nil, err
 	}
 	n := len(active[0])
-	for _, h := range active {
-		if len(h) != n {
-			return nil, fmt.Errorf("ofdm: CombineSubcarriers ragged input")
-		}
-	}
 	ref := active[len(active)/2]
 	out := make([]complex128, n)
 	for _, h := range active {
@@ -155,6 +175,42 @@ func CombineSubcarriers(hs [][]complex128) ([]complex128, error) {
 	inv := complex(1/float64(len(active)), 0)
 	for i := range out {
 		out[i] *= inv
+	}
+	return out, nil
+}
+
+// AverageSubcarriers combines per-subcarrier samples by plain
+// averaging, without phase alignment — the streaming pipeline's
+// combiner (batch and streamed captures both run it, per chunk).
+//
+// Why no alignment: across a 5 MHz band at 2.4 GHz, a scatterer at
+// round-trip distance d offsets subcarrier phases by 2π·d·Δf/c — under
+// ±0.8 rad even at 20 m, costing well under 1 dB of coherence. Any
+// causal *estimated* alignment (running cross-phase, per-window
+// cross-correlation) injects estimation noise that exceeds that loss
+// exactly where it matters — at motion onset after a quiet lead-in,
+// where the estimate is still noise-driven (measured on the §6 gesture
+// trials; see DESIGN.md §6). The acausal whole-capture alignment of
+// CombineSubcarriers avoids the estimation noise but cannot stream: no
+// combined sample is computable before the last raw sample arrives.
+// Plain averaging is stateless, exactly causal, and trivially invariant
+// to how the capture is chunked — the streaming chain's batch-identity
+// guarantee rests on that invariance. Noise still averages down by √K
+// across the K independent subcarriers, which is the §7.1 SNR motive.
+func AverageSubcarriers(hs [][]complex128) ([]complex128, error) {
+	active, err := ActiveSubcarriers(hs)
+	if err != nil {
+		return nil, err
+	}
+	n := len(active[0])
+	out := make([]complex128, n)
+	inv := complex(1/float64(len(active)), 0)
+	for i := 0; i < n; i++ {
+		var sum complex128
+		for _, h := range active {
+			sum += h[i]
+		}
+		out[i] = sum * inv
 	}
 	return out, nil
 }

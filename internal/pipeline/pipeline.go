@@ -21,6 +21,10 @@
 // the result. Cancellation is cooperative — a canceled context fails
 // queued requests before their capture starts and stops in-flight frame
 // processing between frames.
+//
+// SubmitStream schedules a streaming capture (stream.go): the request
+// occupies one worker slot from its first chunk to its last frame, with
+// admissions capped at Workers-1 so batch submits always keep a worker.
 package pipeline
 
 import (
@@ -110,6 +114,9 @@ type job struct {
 	ctx context.Context
 	req Request
 	h   *Handle
+	// stream/sh are set instead of req/h for streaming jobs.
+	stream *StreamRequest
+	sh     *StreamHandle
 }
 
 // ErrClosed is returned by Submit after Close, and delivered to handles
@@ -123,6 +130,11 @@ type Engine struct {
 	quit chan struct{}
 	wg   sync.WaitGroup
 
+	// streamSlots admits long-lived streaming jobs: capacity Workers-1
+	// (min 1), so batch submits always have a worker left. See
+	// SubmitStream.
+	streamSlots chan struct{}
+
 	// mu guards closed; inflight counts Submits past the closed check,
 	// so Close can wait out every concurrent enqueue before it drains
 	// the queue. The blocking send itself happens outside any lock, so
@@ -135,10 +147,15 @@ type Engine struct {
 // New starts an engine with cfg's worker pool.
 func New(cfg Config) *Engine {
 	cfg = cfg.withDefaults()
+	slots := cfg.Workers - 1
+	if slots < 1 {
+		slots = 1
+	}
 	e := &Engine{
-		cfg:  cfg,
-		jobs: make(chan job, cfg.QueueDepth),
-		quit: make(chan struct{}),
+		cfg:         cfg,
+		jobs:        make(chan job, cfg.QueueDepth),
+		quit:        make(chan struct{}),
+		streamSlots: make(chan struct{}, slots),
 	}
 	e.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -171,10 +188,13 @@ func (e *Engine) worker() {
 			// unless its execution began before Close fired.
 			select {
 			case <-e.quit:
-				j.h.res = Result{Err: ErrClosed}
-				close(j.h.done)
+				e.failJob(j)
 				return
 			default:
+			}
+			if j.stream != nil {
+				e.runStream(j)
+				continue
 			}
 			j.h.res = run(j.ctx, j.req)
 			close(j.h.done)
@@ -262,10 +282,21 @@ func (e *Engine) Close() {
 	for {
 		select {
 		case j := <-e.jobs:
-			j.h.res = Result{Err: ErrClosed}
-			close(j.h.done)
+			e.failJob(j)
 		default:
 			return
 		}
 	}
+}
+
+// failJob reports a job that will never execute (engine closed),
+// releasing a stream job's admission slot.
+func (e *Engine) failJob(j job) {
+	if j.stream != nil {
+		failStream(j)
+		<-e.streamSlots
+		return
+	}
+	j.h.res = Result{Err: ErrClosed}
+	close(j.h.done)
 }

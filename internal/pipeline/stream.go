@@ -1,0 +1,124 @@
+package pipeline
+
+// Stream-aware scheduling. A streamed track is a long-lived job: it
+// occupies one worker slot from its first chunk to its last frame, so it
+// competes fairly with batch submits for machine capacity. To keep a
+// fleet of streams from starving batch work, the engine carves stream
+// admissions out of the worker budget: at most Workers-1 streams run
+// concurrently (one slot is always reserved for batch requests), and
+// SubmitStream blocks — honoring its context — until an admission slot
+// frees up.
+//
+// Exception: a 1-worker engine (GOMAXPROCS=1 hosts) still admits one
+// stream — refusing all streams would be worse — so there batch submits
+// DO queue behind an in-flight stream until it completes or its context
+// is canceled. Reservation needs at least two workers.
+
+import (
+	"context"
+	"errors"
+
+	"wivi/internal/core"
+)
+
+// StreamTracker is a device that can stream a track capture.
+// *core.Device implements it.
+type StreamTracker interface {
+	// TrackStreamCtx starts an incremental capture of duration seconds at
+	// startT; frames arrive through the returned Stream.
+	TrackStreamCtx(ctx context.Context, startT, duration float64, opts core.StreamOptions) (*core.Stream, error)
+}
+
+// StreamRequest is one streaming capture to schedule.
+type StreamRequest struct {
+	// Tracker is the device to drive.
+	Tracker StreamTracker
+	// StartT and Duration delimit the capture in seconds.
+	StartT, Duration float64
+	// ChunkSamples is the capture chunk granularity (0 = device default).
+	// Cancellation is honored at chunk boundaries.
+	ChunkSamples int
+}
+
+// StreamHandle is the future for a submitted stream: the capture starts
+// when a worker picks the request up, and Stream blocks until then.
+type StreamHandle struct {
+	started chan struct{}
+	stream  *core.Stream
+	err     error
+}
+
+// Stream blocks until the capture has started (or failed to) and returns
+// the live stream. On ctx cancellation the request itself stays queued —
+// like Handle.Wait, work already submitted is never retracted — but its
+// capture context was ctx's parent call, so the eventual stream fails
+// fast.
+func (h *StreamHandle) Stream(ctx context.Context) (*core.Stream, error) {
+	select {
+	case <-h.started:
+		return h.stream, h.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// SubmitStream enqueues one streaming capture and returns its future. It
+// blocks while every stream admission slot is taken (the engine reserves
+// one worker for batch work), until ctx is done, or until the engine
+// closes. The capture occupies one worker slot until the stream
+// finishes; the caller consumes frames concurrently via the handle.
+func (e *Engine) SubmitStream(ctx context.Context, req StreamRequest) (*StreamHandle, error) {
+	if req.Tracker == nil {
+		return nil, errors.New("pipeline: nil stream tracker")
+	}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, ErrClosed
+	}
+	e.inflight.Add(1)
+	e.mu.Unlock()
+	defer e.inflight.Done()
+	// Admission first: holding at most Workers-1 stream slots guarantees
+	// a worker is always left for batch submits.
+	select {
+	case e.streamSlots <- struct{}{}:
+	case <-e.quit:
+		return nil, ErrClosed
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	h := &StreamHandle{started: make(chan struct{})}
+	select {
+	case e.jobs <- job{ctx: ctx, stream: &req, sh: h}:
+		return h, nil
+	case <-e.quit:
+		<-e.streamSlots
+		return nil, ErrClosed
+	case <-ctx.Done():
+		<-e.streamSlots
+		return nil, ctx.Err()
+	}
+}
+
+// runStream executes one stream job on a worker: start the capture, hand
+// the live stream to the submitter, then hold the worker slot until the
+// stream completes. The admission slot frees with it.
+func (e *Engine) runStream(j job) {
+	defer func() { <-e.streamSlots }()
+	st, err := j.stream.Tracker.TrackStreamCtx(j.ctx, j.stream.StartT, j.stream.Duration,
+		core.StreamOptions{ChunkSamples: j.stream.ChunkSamples})
+	j.sh.stream, j.sh.err = st, err
+	close(j.sh.started)
+	if err == nil {
+		// The stream honors its context at chunk granularity, so a
+		// canceled caller releases this slot promptly.
+		<-st.Done()
+	}
+}
+
+// failStream reports a stream job that will never run (engine closed).
+func failStream(j job) {
+	j.sh.err = ErrClosed
+	close(j.sh.started)
+}

@@ -77,7 +77,7 @@ func DefaultCalibration() Calibration {
 		TxRefAmp:       1.0,
 		TxMaxAmp:       4.1, // 12 dB above TxRefAmp, plus margin
 		BoostDB:        12,
-		NoisePower:     4e-7, // sigma = 6.3e-4 per raw symbol estimate
+		NoisePower:     1e-6, // sigma = 1e-3 per raw symbol estimate
 		EstAverages:    2,
 		TrackAverages:  200,
 		PhaseNoiseStd:  8e-3,

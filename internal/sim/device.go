@@ -383,27 +383,102 @@ func (d *Device) MeasureCombinedFixedGain(p []complex128, boostDB float64) ([]co
 // measured every SampleT with TrackAverages-symbol averaging. The result
 // is indexed [subcarrier][sample]. An AGC gain is chosen once from the
 // first sample's residual.
+//
+// Capture is exactly a StartCapture session read in one chunk, so batch
+// and chunked captures of the same span produce bit-identical samples.
 func (d *Device) Capture(p []complex128, boostDB float64, startT float64, n int) ([][]complex128, error) {
+	s, err := d.StartCapture(p, boostDB, startT, n)
+	if err != nil {
+		return nil, err
+	}
+	return s.Read(n)
+}
+
+// StreamCapture implements core.StreamFrontEnd: it runs a chunked
+// capture of total samples, delivering consecutive chunks of up to
+// chunk samples to emit as they are recorded. An emit error aborts the
+// capture and is returned (the cancellation path). Concatenating the
+// chunks reproduces Capture bit for bit.
+func (d *Device) StreamCapture(p []complex128, boostDB float64, startT float64, total, chunk int, emit func([][]complex128) error) error {
+	if chunk < 1 {
+		return fmt.Errorf("sim: chunk length %d", chunk)
+	}
+	s, err := d.StartCapture(p, boostDB, startT, total)
+	if err != nil {
+		return err
+	}
+	for s.Remaining() > 0 {
+		c := chunk
+		if c > s.Remaining() {
+			c = s.Remaining()
+		}
+		sub, err := s.Read(c)
+		if err != nil {
+			return err
+		}
+		if err := emit(sub); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CaptureSession is an in-progress chunked tracking capture. The device's
+// oscillator and noise state advance per sample as chunks are read, so
+// concatenating the chunks reproduces the one-shot Capture bit for bit,
+// whatever the chunk sizes. A session owns the radio: interleaving other
+// measurements (or a second session) before the session is drained
+// corrupts both sample streams, which is why the core pipeline holds the
+// device lock for the whole streamed capture.
+type CaptureSession struct {
+	d     *Device
+	p     []complex128
+	amp   complex128
+	gain  float64
+	start float64
+	next  int
+	total int
+}
+
+// StartCapture opens a chunked capture of total samples starting at
+// startT; successive Reads deliver consecutive sample spans. The AGC gain
+// is chosen once from the first sample's residual, exactly as in Capture.
+func (d *Device) StartCapture(p []complex128, boostDB float64, startT float64, total int) (*CaptureSession, error) {
 	if len(p) != len(d.lambdas) {
 		return nil, fmt.Errorf("sim: precoding length %d != %d subcarriers", len(p), len(d.lambdas))
 	}
-	if n <= 0 {
-		return nil, fmt.Errorf("sim: capture length %d", n)
+	if total <= 0 {
+		return nil, fmt.Errorf("sim: capture length %d", total)
 	}
 	amp, _ := d.tx.Output(complex(d.Cal.TxRefAmp*math.Pow(10, boostDB/20), 0))
+	return &CaptureSession{d: d, p: p, amp: amp, start: startT, total: total}, nil
+}
+
+// Remaining returns the number of samples the session has not yet read.
+func (s *CaptureSession) Remaining() int { return s.total - s.next }
+
+// Read synthesizes the next n samples of the capture, indexed
+// [subcarrier][sample]. It fails when asked for more samples than remain.
+func (s *CaptureSession) Read(n int) ([][]complex128, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("sim: chunk length %d", n)
+	}
+	if n > s.Remaining() {
+		return nil, fmt.Errorf("sim: reading %d samples with %d remaining", n, s.Remaining())
+	}
+	d := s.d
 	out := make([][]complex128, len(d.lambdas))
 	for k := range out {
 		out[k] = make([]complex128, n)
 	}
-	gain := 0.0
 	for i := 0; i < n; i++ {
-		t := startT + float64(i)*d.Cal.SampleT
+		t := s.start + float64(s.next+i)*d.Cal.SampleT
 		h1 := d.channelAt(1, t)
 		h2 := d.channelAt(2, t)
-		if gain == 0 {
+		if s.gain == 0 {
 			peak := 0.0
 			for k := range h1 {
-				if a := cAbs((h1[k] + p[k]*h2[k]) * amp); a > peak {
+				if a := cAbs((h1[k] + s.p[k]*h2[k]) * s.amp); a > peak {
 					peak = a
 				}
 			}
@@ -411,14 +486,15 @@ func (d *Device) Capture(p []complex128, boostDB float64, startT float64, n int)
 				peak = 1e-15
 			}
 			// Leave 16x headroom for humans approaching the device.
-			gain = d.capGain(d.Cal.ADCFullScale / (16 * peak))
+			s.gain = d.capGain(d.Cal.ADCFullScale / (16 * peak))
 		}
 		jitter := d.phaseJitter()
 		for k := range h1 {
-			y, _ := d.captureEstimate((h1[k]+p[k]*h2[k])*amp, jitter, gain, d.Cal.TrackAverages)
-			out[k][i] = y / amp
+			y, _ := d.captureEstimate((h1[k]+s.p[k]*h2[k])*s.amp, jitter, s.gain, d.Cal.TrackAverages)
+			out[k][i] = y / s.amp
 		}
 	}
+	s.next += n
 	return out, nil
 }
 

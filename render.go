@@ -14,3 +14,27 @@ import (
 func renderHeatmap(img *isar.Image, width, height int) []string {
 	return eval.RenderHeatmap(img, width, height)
 }
+
+// RenderSpectrumLine draws one streamed frame's angular spectrum (in dB,
+// ascending theta) as a single ASCII line — the live form of
+// TrackingResult.Heatmap, with -90° on the left, +90° on the right and
+// intensity normalized against the fixed [0, maxDB] range so lines stay
+// comparable as the capture accrues. It delegates to the canonical
+// renderer in internal/eval, like the heatmap.
+func RenderSpectrumLine(db []float64, width int, maxDB float64) string {
+	return eval.RenderSpectrumLine(db, width, maxDB)
+}
+
+// RenderFrameLine renders one StreamFrame as a live heatmap line (time
+// stamp plus its spectrum over width cells); pair with
+// RenderFrameHeader for the angle axis. Both delegate to the canonical
+// internal/eval renderer shared with wivi-trace's live replay.
+func RenderFrameLine(fr StreamFrame, width int) string {
+	return eval.LiveFrameLine(fr.Time, fr.Power, width)
+}
+
+// RenderFrameHeader returns the angle-axis header matching
+// RenderFrameLine's column mapping.
+func RenderFrameHeader(width int) string {
+	return eval.LiveAxisHeader(width)
+}

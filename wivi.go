@@ -13,6 +13,16 @@
 //	res, _ := dev.Track(10)                 // null, capture, image
 //	fmt.Println(res.Heatmap(64, 20))        // the Fig. 5-2 style image
 //
+// Tracking also streams: TrackStream emits the image's frames while the
+// capture is still running (the first after ~0.32 s of samples), and its
+// Result is byte-identical to Track's.
+//
+//	ts, _ := dev.TrackStream(ctx, 10)
+//	for fr := range ts.Frames() {           // columns of the image, live
+//	    _ = fr
+//	}
+//	res, _ = ts.Result()
+//
 // Because the original is a hardware system (USRP software radios), this
 // library ships with a physical simulator substrate (channel synthesis,
 // SDR front end, human motion); see DESIGN.md for the substitution
@@ -25,6 +35,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"iter"
 	"reflect"
 	"strings"
 	"sync"
@@ -177,12 +188,18 @@ type DeviceOptions struct {
 	// count never affects the output image, only the scheduling — see
 	// internal/isar's stage decomposition.
 	FrameWorkers int
+	// StreamChunkSamples is the capture chunk granularity for
+	// TrackStream, in samples; 0 uses the ISAR hop (one potential frame
+	// per chunk). The chunk size never affects the streamed image, only
+	// latency and cancellation granularity.
+	StreamChunkSamples int
 }
 
 // Device is a Wi-Vi device observing one scene.
 type Device struct {
-	pipeline *core.Device
-	fe       *sim.Device
+	pipeline    *core.Device
+	fe          *sim.Device
+	streamChunk int
 }
 
 // NewDevice places a device in front of the scene's wall.
@@ -209,7 +226,7 @@ func NewDevice(scene *Scene, opts DeviceOptions) (*Device, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Device{pipeline: pipeline, fe: fe}, nil
+	return &Device{pipeline: pipeline, fe: fe, streamChunk: opts.StreamChunkSamples}, nil
 }
 
 // NullingSummary reports the flash-elimination outcome (§4).
@@ -271,6 +288,105 @@ func (d *Device) TrackCtx(ctx context.Context, duration float64) (*TrackingResul
 		return nil, res.Err
 	}
 	return &TrackingResult{img: res.Image, dev: d}, nil
+}
+
+// StreamFrame is one column of the angle-time image, emitted while the
+// capture is still running.
+type StreamFrame struct {
+	// Index is the frame's position in the final image.
+	Index int
+	// Time is the frame window's center time in seconds.
+	Time float64
+	// Power is the angular pseudospectrum over the stream's Thetas grid
+	// (normalized to min = 1). It is shared with the final image — treat
+	// it as read-only.
+	Power []float64
+}
+
+// TrackStream is an in-progress streaming capture: frames arrive in
+// index order while later windows are still filling, and Result
+// assembles the identical *TrackingResult a batch Track of the same
+// duration would have returned. Frames are buffered internally, so a
+// slow consumer never stalls the capture.
+type TrackStream struct {
+	dev   *Device
+	inner *core.Stream
+}
+
+// TrackStream nulls (if needed) and captures duration seconds
+// incrementally: instead of buffering the whole capture before imaging,
+// frames of the angle-time image are emitted as soon as their analysis
+// windows close — the first after ~0.32 s of samples, not after the
+// whole capture. The capture is scheduled on the shared engine; it
+// occupies one worker slot for its whole span, and the engine admits at
+// most workers-1 concurrent streams so batch Track submits keep a
+// worker (except on single-worker engines — GOMAXPROCS=1 hosts — where
+// one stream is still admitted and batch submits queue behind it).
+// Canceling ctx aborts the capture at the next chunk boundary.
+//
+// The streamed frames are byte-identical to the batch path: for the
+// same scene and duration, Result().Equal(Track's result) always holds,
+// whatever the worker count or chunk size.
+func (d *Device) TrackStream(ctx context.Context, duration float64) (*TrackStream, error) {
+	h, err := defaultEngine().SubmitStream(ctx, pipeline.StreamRequest{
+		Tracker:      d.pipeline,
+		Duration:     duration,
+		ChunkSamples: d.streamChunk,
+	})
+	if err != nil {
+		return nil, err
+	}
+	st, err := h.Stream(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &TrackStream{dev: d, inner: st}, nil
+}
+
+// Next blocks until the next frame is available and returns it; ok is
+// false once the stream has ended (normally or on error — check Err).
+func (ts *TrackStream) Next() (fr StreamFrame, ok bool) {
+	inner, ok := ts.inner.Next()
+	if !ok {
+		return StreamFrame{}, false
+	}
+	return StreamFrame{Index: inner.Spec.Index, Time: inner.Time, Power: inner.Power}, true
+}
+
+// Frames iterates the remaining frames in index order, blocking as the
+// capture runs; stopping the iteration early does not cancel the
+// capture (cancel the TrackStream context for that).
+func (ts *TrackStream) Frames() iter.Seq[StreamFrame] {
+	return func(yield func(StreamFrame) bool) {
+		for {
+			fr, ok := ts.Next()
+			if !ok || !yield(fr) {
+				return
+			}
+		}
+	}
+}
+
+// Err returns the stream's terminal error: nil while running or after a
+// clean finish, the cause (including context cancellation) otherwise.
+func (ts *TrackStream) Err() error { return ts.inner.Err() }
+
+// TotalFrames returns the number of frames the full capture will emit.
+func (ts *TrackStream) TotalFrames() int { return ts.inner.TotalFrames() }
+
+// Thetas returns the angle grid (degrees) the frame spectra are sampled
+// on: ascending over [-90, 90], positive toward the device.
+func (ts *TrackStream) Thetas() []float64 { return ts.inner.Thetas() }
+
+// Result blocks until the capture completes and returns the assembled
+// tracking result, byte-identical to what Track(duration) would have
+// produced on the same scene.
+func (ts *TrackStream) Result() (*TrackingResult, error) {
+	img, _, err := ts.inner.Result()
+	if err != nil {
+		return nil, err
+	}
+	return &TrackingResult{img: img, dev: ts.dev}, nil
 }
 
 // TrackManyOptions configures a batch tracking run.
@@ -396,12 +512,25 @@ type DecodedMessage struct {
 // DecodeMessage captures duration seconds in gesture mode and decodes
 // the step gestures into bits.
 func (d *Device) DecodeMessage(duration float64) (*DecodedMessage, error) {
+	return d.DecodeMessageCtx(context.Background(), duration)
+}
+
+// DecodeMessageCtx is DecodeMessage with cancellation. Like TrackCtx,
+// the capture is scheduled on the shared concurrent engine (captures of
+// one device serialize; the gesture decode itself is pure compute), so
+// gesture captures multiplex fairly with tracking traffic instead of
+// bypassing the worker pool.
+func (d *Device) DecodeMessageCtx(ctx context.Context, duration float64) (*DecodedMessage, error) {
 	d.pipeline.SetMode(core.ModeGesture)
-	img, _, err := d.pipeline.Track(0, duration)
+	h, err := defaultEngine().Submit(ctx, pipeline.Request{Tracker: d.pipeline, Duration: duration})
 	if err != nil {
 		return nil, err
 	}
-	res, err := d.pipeline.DecodeGestures(img)
+	r := h.Wait(ctx)
+	if r.Err != nil {
+		return nil, r.Err
+	}
+	res, err := d.pipeline.DecodeGestures(r.Image)
 	if err != nil {
 		return nil, err
 	}
