@@ -19,8 +19,13 @@ test:
 
 # Streaming smoke: stream 4 scenes, verify byte-identity with batch
 # Track and that the first frame lands well before the capture ends.
+# Mixed smoke: concurrent track + gesture + stream requests against one
+# explicit engine, per-mode throughput/queue wait, identity checks.
+# (The public-API guard — TestPublicAPISurface vs testdata/api.txt —
+# runs inside `make test`.)
 smoke:
 	go run ./cmd/wivi-bench -stream -batch 4 -trackdur 2
+	go run ./cmd/wivi-bench -mixed -batch 2 -trackdur 2
 
 # Engine throughput: sequential vs parallel batch tracking.
 bench:

@@ -1,0 +1,166 @@
+package wivi_test
+
+// The public-API guard: the exported surface of package wivi is pinned
+// to testdata/api.txt. An unintentional export, removal or rename fails
+// this test; a deliberate API change is recorded with
+//
+//	go test -run TestPublicAPISurface -update .
+//
+// and reviewed as part of the diff.
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var updateAPI = flag.Bool("update", false, "rewrite testdata/api.txt with the current exported surface")
+
+// exportedSurface parses the package's non-test files and lists every
+// exported identifier: consts, vars, funcs, types, methods on exported
+// types, struct fields and interface methods.
+func exportedSurface(t *testing.T) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, ok := pkgs["wivi"]
+	if !ok {
+		t.Fatalf("package wivi not found (got %v)", pkgs)
+	}
+	var out []string
+	add := func(format string, args ...any) { out = append(out, fmt.Sprintf(format, args...)) }
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() {
+					continue
+				}
+				if d.Recv == nil {
+					add("func %s", d.Name.Name)
+					continue
+				}
+				recv := receiverName(d.Recv.List[0].Type)
+				if recv == "" || !ast.IsExported(recv) {
+					continue
+				}
+				add("method %s.%s", recv, d.Name.Name)
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.ValueSpec:
+						kind := "var"
+						if d.Tok == token.CONST {
+							kind = "const"
+						}
+						for _, name := range s.Names {
+							if name.IsExported() {
+								add("%s %s", kind, name.Name)
+							}
+						}
+					case *ast.TypeSpec:
+						if !s.Name.IsExported() {
+							continue
+						}
+						add("type %s", s.Name.Name)
+						switch tt := s.Type.(type) {
+						case *ast.StructType:
+							for _, f := range tt.Fields.List {
+								for _, name := range f.Names {
+									if name.IsExported() {
+										add("field %s.%s", s.Name.Name, name.Name)
+									}
+								}
+							}
+						case *ast.InterfaceType:
+							for _, m := range tt.Methods.List {
+								for _, name := range m.Names {
+									if name.IsExported() {
+										add("method %s.%s (interface)", s.Name.Name, name.Name)
+									}
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func receiverName(expr ast.Expr) string {
+	switch e := expr.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.StarExpr:
+		return receiverName(e.X)
+	case *ast.IndexExpr: // generic receiver
+		return receiverName(e.X)
+	}
+	return ""
+}
+
+// TestPublicAPISurface asserts the exported surface matches the golden
+// list — the contract the Engine redesign commits the package to.
+func TestPublicAPISurface(t *testing.T) {
+	got := exportedSurface(t)
+	golden := filepath.Join("testdata", "api.txt")
+	if *updateAPI {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(strings.Join(got, "\n")+"\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d identifiers)", golden, len(got))
+		return
+	}
+	data, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test -run TestPublicAPISurface -update .` to create it)", err)
+	}
+	want := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	gotSet := make(map[string]bool, len(got))
+	for _, id := range got {
+		gotSet[id] = true
+	}
+	wantSet := make(map[string]bool, len(want))
+	for _, id := range want {
+		wantSet[id] = true
+	}
+	var missing, extra []string
+	for _, id := range want {
+		if !gotSet[id] {
+			missing = append(missing, id)
+		}
+	}
+	for _, id := range got {
+		if !wantSet[id] {
+			extra = append(extra, id)
+		}
+	}
+	if len(missing) > 0 || len(extra) > 0 {
+		t.Errorf("exported API surface drifted from testdata/api.txt")
+		for _, id := range missing {
+			t.Errorf("  removed: %s", id)
+		}
+		for _, id := range extra {
+			t.Errorf("  added:   %s", id)
+		}
+		t.Errorf("if intentional, run `go test -run TestPublicAPISurface -update .` and review the diff")
+	}
+}

@@ -9,6 +9,7 @@
 //	wivi-bench -workers 8           # experiments fan out over 8 workers
 //	wivi-bench -batch 32 -workers 8 # engine throughput mode (see below)
 //	wivi-bench -stream -batch 4     # streaming latency mode (see below)
+//	wivi-bench -mixed -batch 2      # mixed-workload mode (see below)
 //
 // Throughput mode (-batch N) exercises the concurrent tracking engine
 // instead of the evaluation suite: it builds N independent one-walker
@@ -22,6 +23,13 @@
 // byte-identical to batch, and the mode reports time-to-first-frame
 // (which must be a small fraction of the full capture), mean and max
 // inter-frame latency, and throughput.
+//
+// Mixed mode (-mixed, with -batch N requests per kind) exercises the
+// Engine service API under heterogeneous traffic: N track, N gesture
+// and N streaming requests run concurrently against one explicit
+// wivi.NewEngine pool, reporting per-mode throughput, queue wait and
+// latency plus the engine's Stats() counters, with the batch/stream
+// identity check and exact gesture decode retained under mixing.
 package main
 
 import (
@@ -50,10 +58,24 @@ func main() {
 		batch    = flag.Int("batch", 0, "engine throughput mode: track this many scenes instead of running experiments")
 		trackDur = flag.Float64("trackdur", 4, "per-scene capture duration in seconds for -batch mode")
 		stream   = flag.Bool("stream", false, "streaming latency mode over -batch scenes (default 4): time-to-first-frame, inter-frame latency, batch-identity check")
+		mixed    = flag.Bool("mixed", false, "mixed-workload mode: -batch (default 2) track + gesture + stream requests each against one explicit engine")
 	)
 	flag.Parse()
 	if *workers < 1 {
 		*workers = runtime.GOMAXPROCS(0)
+	}
+
+	if *mixed {
+		if *run != "" || *quick || *stream {
+			log.Fatal("-mixed runs the mixed-workload mode and is incompatible with -run/-quick/-stream")
+		}
+		if *batch < 1 {
+			*batch = 2
+		}
+		if err := runMixedMode(*batch, *workers, *seed, *trackDur); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 
 	if *stream {

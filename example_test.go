@@ -80,6 +80,97 @@ func Example_streamingTracking() {
 	// Output: true
 }
 
+// ExampleNewEngine shows the Engine service API: one explicitly owned
+// worker pool serving a mixed workload, with the processing mode as
+// per-request data (no device state is mutated to select it — a track
+// and a gesture request may even target the same device concurrently).
+func ExampleNewEngine() {
+	eng := wivi.NewEngine(wivi.EngineOptions{Workers: 2})
+	defer eng.Close()
+	ctx := context.Background()
+
+	trackScene := wivi.NewScene(wivi.SceneOptions{Seed: 42})
+	if err := trackScene.AddWalker(6); err != nil {
+		log.Fatal(err)
+	}
+	walker, err := wivi.NewDevice(trackScene, wivi.DeviceOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	msgScene := wivi.NewScene(wivi.SceneOptions{Seed: 21, RoomWidth: 11, RoomDepth: 8})
+	msgDur, err := msgScene.AddGestureSender(wivi.GestureMessage{
+		Bits:     []wivi.Bit{wivi.Bit0, wivi.Bit1},
+		Distance: 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sender, err := wivi.NewDevice(msgScene, wivi.DeviceOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Both requests are in flight together on one pool; each carries its
+	// own mode.
+	th, err := eng.Submit(ctx, wivi.Request{Device: walker, Duration: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	gh, err := eng.Submit(ctx, wivi.Request{Device: sender, Duration: msgDur, Mode: wivi.Gesture})
+	if err != nil {
+		log.Fatal(err)
+	}
+	track, err := th.Wait(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gest, err := gh.Wait(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("tracked:", track.Tracking.NumFrames() > 0)
+	fmt.Println("message:", gest.Message)
+	// Output:
+	// tracked: true
+	// message: 01
+}
+
+// ExampleRequest shows a streaming request through an explicit engine:
+// Stream selects incremental frame emission, and Wait still joins the
+// assembled end state (identical to the batch path).
+func ExampleRequest() {
+	eng := wivi.NewEngine(wivi.EngineOptions{Workers: 2})
+	defer eng.Close()
+	ctx := context.Background()
+
+	scene := wivi.NewScene(wivi.SceneOptions{Seed: 42})
+	if err := scene.AddWalker(6); err != nil {
+		log.Fatal(err)
+	}
+	dev, err := wivi.NewDevice(scene, wivi.DeviceOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	h, err := eng.Submit(ctx, wivi.Request{Device: dev, Duration: 4, Stream: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	stream, err := h.Stream(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	frames := 0
+	for range stream.Frames() {
+		frames++ // image columns arrive while the capture runs
+	}
+	res, err := h.Wait(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(frames == res.Tracking.NumFrames())
+	// Output: true
+}
+
 // Example_gestureMessage shows the through-wall messaging workflow.
 func Example_gestureMessage() {
 	scene := wivi.NewScene(wivi.SceneOptions{Seed: 21, RoomWidth: 11, RoomDepth: 8})

@@ -66,6 +66,37 @@ func (m Mode) String() string {
 	return "tracking"
 }
 
+// TrackRequest describes one capture as pure request data. The mode
+// rides with the request instead of mutating device state, so
+// interleaved tracking and gesture requests on one device never race
+// and each sees exactly its own mode; the engine (internal/pipeline)
+// threads the request through unchanged.
+type TrackRequest struct {
+	// Mode selects the per-request processing (§3.2): ModeTracking stops
+	// at the angle-time image, ModeGesture also runs the §6.2 decode
+	// chain. The capture and imaging stages are mode-independent — the
+	// paper runs one pipeline for both — so mode only selects the decode.
+	Mode Mode
+	// StartT and Duration delimit the capture in seconds.
+	StartT, Duration float64
+	// ChunkSamples is the capture chunk granularity for streamed
+	// requests (0 = Config.StreamChunk); batch Observe ignores it.
+	ChunkSamples int
+}
+
+// Observation is the outcome of one request: the shared capture+image
+// stages' output plus the mode-selected decode.
+type Observation struct {
+	// Mode echoes the request mode.
+	Mode Mode
+	// Image is the angle-time image.
+	Image *isar.Image
+	// Trace is the captured channel trace.
+	Trace *Trace
+	// Gestures is the §6.2 decode result; non-nil iff Mode is ModeGesture.
+	Gestures *gesture.Result
+}
+
 // Config parameterizes the pipeline.
 type Config struct {
 	// Nulling controls Algorithm 1.
@@ -138,9 +169,10 @@ type Device struct {
 	proc *isar.Processor
 
 	// mu serializes front-end measurements and guards the mutable
-	// nulling/mode state.
+	// nulling state. Mode is deliberately NOT device state: it arrives
+	// with each TrackRequest, so mixed track/gesture traffic needs no
+	// mode lock and can never observe another request's mode.
 	mu      sync.Mutex
-	mode    Mode
 	nullRes *nulling.Result
 }
 
@@ -161,21 +193,6 @@ func New(fe FrontEnd, cfg Config) (*Device, error) {
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	return &Device{fe: fe, cfg: cfg, proc: proc}, nil
-}
-
-// SetMode selects tracking or gesture mode (§3.2). The pipeline is the
-// same; the mode is advisory metadata for callers and reports.
-func (d *Device) SetMode(m Mode) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.mode = m
-}
-
-// CurrentMode returns the device mode.
-func (d *Device) CurrentMode() Mode {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.mode
 }
 
 // Config returns the active configuration.
@@ -296,6 +313,34 @@ func (d *Device) TrackCtx(ctx context.Context, startT, duration float64) (*isar.
 		return nil, nil, err
 	}
 	return img, tr, nil
+}
+
+// Observe executes one request end to end: null (if needed), capture,
+// image, and — in gesture mode — decode. The capture serializes on the
+// device mutex like every measurement; the imaging and decode stages are
+// pure compute and overlap freely. Mode is request data, never device
+// state, so concurrent Observe calls with different modes on one device
+// are safe and each sees exactly its own mode.
+func (d *Device) Observe(ctx context.Context, req TrackRequest) (*Observation, error) {
+	img, tr, err := d.TrackCtx(ctx, req.StartT, req.Duration)
+	if err != nil {
+		return nil, err
+	}
+	return d.finishObservation(req.Mode, img, tr)
+}
+
+// finishObservation applies the mode-selected decode stage to a
+// completed capture — the one place batch and streamed requests share.
+func (d *Device) finishObservation(mode Mode, img *isar.Image, tr *Trace) (*Observation, error) {
+	obs := &Observation{Mode: mode, Image: img, Trace: tr}
+	if mode == ModeGesture {
+		res, err := d.DecodeGestures(img)
+		if err != nil {
+			return nil, fmt.Errorf("core: gesture decode: %w", err)
+		}
+		obs.Gestures = res
+	}
+	return obs, nil
 }
 
 // SpatialVariance returns the trial-level counting statistic: the

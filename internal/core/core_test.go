@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math"
+	"reflect"
 	"testing"
 
 	"wivi/internal/detect"
@@ -41,10 +43,66 @@ func TestModeString(t *testing.T) {
 	if ModeTracking.String() != "tracking" || ModeGesture.String() != "gesture" {
 		t.Fatal("mode strings")
 	}
-	dev, _ := newSimDevice(t, 1, nil)
-	dev.SetMode(ModeGesture)
-	if dev.CurrentMode() != ModeGesture {
-		t.Fatal("SetMode lost")
+}
+
+// TestObservePerRequestMode pins the mode-threading contract: the mode
+// arrives as request data and selects only the decode stage — tracking
+// observations carry no gesture result, gesture observations do, and the
+// streamed form agrees with batch.
+func TestObservePerRequestMode(t *testing.T) {
+	bits := []motion.Bit{motion.Bit0}
+	var duration float64
+	build := func() *Device {
+		dev, _ := newSimDevice(t, 7, func(sc *sim.Scene) {
+			params := motion.DefaultGestureParams()
+			if _, err := sc.AddGestureSubject(4, bits, params, 0, 1.5); err != nil {
+				t.Fatal(err)
+			}
+			duration = motion.MessageDuration(len(bits), params, 1.5) + 1
+		})
+		return dev
+	}
+	ctx := context.Background()
+
+	track, err := build().Observe(ctx, TrackRequest{Mode: ModeTracking, Duration: duration})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if track.Mode != ModeTracking || track.Gestures != nil {
+		t.Fatalf("tracking observation: mode %v, gestures %v", track.Mode, track.Gestures)
+	}
+	if track.Image == nil || track.Trace == nil {
+		t.Fatal("tracking observation missing image or trace")
+	}
+
+	gest, err := build().Observe(ctx, TrackRequest{Mode: ModeGesture, Duration: duration})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gest.Mode != ModeGesture || gest.Gestures == nil {
+		t.Fatalf("gesture observation: mode %v, gestures %v", gest.Mode, gest.Gestures)
+	}
+	if len(gest.Gestures.Bits) != 1 || gest.Gestures.Bits[0] != bits[0] {
+		t.Fatalf("decoded bits %v, want %v", gest.Gestures.Bits, bits)
+	}
+	// Same request as a fresh identical device's batch Observe, but
+	// streamed: byte-identical image, same decoded message.
+	st, err := build().ObserveStream(ctx, TrackRequest{Mode: ModeGesture, Duration: duration})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Mode() != ModeGesture {
+		t.Fatalf("stream mode %v", st.Mode())
+	}
+	sobs, err := st.Observation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sobs.Image, gest.Image) {
+		t.Fatal("streamed gesture observation image differs from batch Observe")
+	}
+	if !reflect.DeepEqual(sobs.Gestures, gest.Gestures) {
+		t.Fatal("streamed gesture decode differs from batch Observe")
 	}
 }
 
@@ -134,15 +192,11 @@ func TestGestureRoundTripThroughWall(t *testing.T) {
 		}
 		duration = motion.MessageDuration(len(bits), params, 1.5) + 1
 	})
-	dev.SetMode(ModeGesture)
-	img, _, err := dev.Track(0, duration)
+	obs, err := dev.Observe(context.Background(), TrackRequest{Mode: ModeGesture, Duration: duration})
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := dev.DecodeGestures(img)
-	if err != nil {
-		t.Fatal(err)
-	}
+	res := obs.Gestures
 	if len(res.Bits) != len(bits) {
 		t.Fatalf("decoded %d bits (%v), want %d (steps=%d unpaired=%d floor=%g)",
 			len(res.Bits), res.Bits, len(bits), len(res.Steps), res.UnpairedSteps, res.NoiseFloor)

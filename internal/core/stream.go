@@ -101,6 +101,8 @@ type StreamOptions struct {
 // consumer never stalls the capture, and abandoning a Stream leaks
 // nothing once its context is canceled.
 type Stream struct {
+	dev         *Device
+	mode        Mode
 	sampleT     float64
 	totalFrames int
 	thetas      []float64
@@ -131,9 +133,26 @@ func (d *Device) TrackStream(duration float64, opts StreamOptions) (*Stream, err
 // and the Stream finishes with ctx's error. Frame processing fans out
 // over Config.FrameWorkers exactly like the batch path.
 func (d *Device) TrackStreamCtx(ctx context.Context, startT, duration float64, opts StreamOptions) (*Stream, error) {
-	if duration <= 0 {
-		return nil, fmt.Errorf("core: non-positive capture duration %v", duration)
+	return d.ObserveStream(ctx, TrackRequest{
+		Mode:         ModeTracking,
+		StartT:       startT,
+		Duration:     duration,
+		ChunkSamples: opts.ChunkSamples,
+	})
+}
+
+// ObserveStream is the streaming form of Observe: the same per-request
+// mode threading, with frames emitted while the capture runs. In
+// gesture mode the decode stage needs the full angle-time image, so it
+// runs at assembly time — Observation() returns the decoded message
+// alongside the image, byte-identical to what a batch Observe of the
+// same request would have produced.
+func (d *Device) ObserveStream(ctx context.Context, req TrackRequest) (*Stream, error) {
+	if req.Duration <= 0 {
+		return nil, fmt.Errorf("core: non-positive capture duration %v", req.Duration)
 	}
+	startT, duration := req.StartT, req.Duration
+	opts := StreamOptions{ChunkSamples: req.ChunkSamples}
 	n := int(duration / d.fe.SampleT())
 	if n < 1 {
 		n = 1
@@ -149,6 +168,8 @@ func (d *Device) TrackStreamCtx(ctx context.Context, startT, duration float64, o
 		chunk = n
 	}
 	s := &Stream{
+		dev:         d,
+		mode:        req.Mode,
 		sampleT:     d.fe.SampleT(),
 		totalFrames: len(d.proc.FrameSpecs(n)),
 		thetas:      d.proc.Thetas(),
@@ -299,6 +320,9 @@ func (s *Stream) Thetas() []float64 { return s.thetas }
 // SampleT returns the capture sample period in seconds.
 func (s *Stream) SampleT() float64 { return s.sampleT }
 
+// Mode returns the request mode the stream was started with.
+func (s *Stream) Mode() Mode { return s.mode }
+
 // Result blocks until the stream finishes and returns the assembled
 // angle-time image and trace — byte-identical to what a batch TrackCtx
 // of the same span would have returned — or the stream's error.
@@ -310,4 +334,16 @@ func (s *Stream) Result() (*isar.Image, *Trace, error) {
 		return nil, nil, s.err
 	}
 	return s.img, s.tr, nil
+}
+
+// Observation blocks until the stream finishes and returns the full
+// mode-selected observation — identical to what a batch Observe of the
+// same request would have returned, including the gesture decode when
+// the stream was started in ModeGesture.
+func (s *Stream) Observation() (*Observation, error) {
+	img, tr, err := s.Result()
+	if err != nil {
+		return nil, err
+	}
+	return s.dev.finishObservation(s.mode, img, tr)
 }

@@ -6,6 +6,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -215,14 +216,9 @@ func gestureTrial(seed int64, wall rf.Material, dist float64, bits []motion.Bit,
 	if err != nil {
 		return nil, err
 	}
-	dev.SetMode(core.ModeGesture)
-	img, _, err := dev.Track(0, duration)
+	obs, err := dev.Observe(context.Background(), core.TrackRequest{Mode: core.ModeGesture, Duration: duration})
 	if err != nil {
 		return nil, err
 	}
-	res, err := dev.DecodeGestures(img)
-	if err != nil {
-		return nil, err
-	}
-	return &gestureOutcome{sent: bits, result: res, img: img}, nil
+	return &gestureOutcome{sent: bits, result: obs.Gestures, img: obs.Image}, nil
 }

@@ -32,17 +32,21 @@ import (
 	"errors"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"wivi/internal/core"
+	"wivi/internal/gesture"
 	"wivi/internal/isar"
 )
 
-// Tracker is one track-capable device. *core.Device implements it; tests
-// substitute fakes.
+// Tracker is one observation-capable device. *core.Device implements it;
+// tests substitute fakes. The request carries the mode, so one Tracker
+// serves mixed track/gesture traffic without any mutable mode state.
 type Tracker interface {
-	// TrackCtx captures duration seconds starting at startT and returns
-	// the angle-time image plus the underlying trace.
-	TrackCtx(ctx context.Context, startT, duration float64) (*isar.Image, *core.Trace, error)
+	// Observe executes one request (capture + image + mode-selected
+	// decode) and returns the observation.
+	Observe(ctx context.Context, req core.TrackRequest) (*core.Observation, error)
 }
 
 // Config sizes the engine.
@@ -52,6 +56,10 @@ type Config struct {
 	// QueueDepth bounds the submit queue (Submit blocks when it is
 	// full); default 2*Workers.
 	QueueDepth int
+	// MaxStreams caps concurrent streaming captures. Default Workers-1
+	// (min 1), which always reserves a worker for batch submits; setting
+	// MaxStreams >= Workers trades that guarantee for stream capacity.
+	MaxStreams int
 }
 
 func (c Config) withDefaults() Config {
@@ -61,23 +69,39 @@ func (c Config) withDefaults() Config {
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 2 * c.Workers
 	}
+	if c.MaxStreams <= 0 {
+		c.MaxStreams = c.Workers - 1
+		if c.MaxStreams < 1 {
+			c.MaxStreams = 1
+		}
+	}
 	return c
 }
 
-// Request is one tracking capture to schedule.
+// Request is one capture to schedule.
 type Request struct {
 	// Tracker is the device to drive.
 	Tracker Tracker
+	// Mode is the per-request processing mode, threaded to the tracker
+	// unchanged (no device state is mutated to select it).
+	Mode core.Mode
 	// StartT and Duration delimit the capture in seconds.
 	StartT, Duration float64
 }
 
 // Result is the outcome of one request.
 type Result struct {
+	// Mode echoes the request mode.
+	Mode core.Mode
 	// Image is the angle-time image (nil on error).
 	Image *isar.Image
 	// Trace is the captured channel trace (nil on error).
 	Trace *core.Trace
+	// Gestures is the decode result for ModeGesture requests.
+	Gestures *gesture.Result
+	// QueueWait is how long the request sat queued before a worker
+	// picked it up.
+	QueueWait time.Duration
 	// Err reports the failure, including context cancellation.
 	Err error
 }
@@ -114,6 +138,8 @@ type job struct {
 	ctx context.Context
 	req Request
 	h   *Handle
+	// enq timestamps the enqueue, for queue-wait accounting.
+	enq time.Time
 	// stream/sh are set instead of req/h for streaming jobs.
 	stream *StreamRequest
 	sh     *StreamHandle
@@ -125,15 +151,24 @@ var ErrClosed = errors.New("pipeline: engine closed")
 
 // Engine is a bounded worker pool executing tracking requests.
 type Engine struct {
-	cfg  Config
-	jobs chan job
-	quit chan struct{}
-	wg   sync.WaitGroup
+	cfg   Config
+	jobs  chan job
+	quit  chan struct{}
+	wg    sync.WaitGroup
+	start time.Time
 
-	// streamSlots admits long-lived streaming jobs: capacity Workers-1
-	// (min 1), so batch submits always have a worker left. See
-	// SubmitStream.
+	// streamSlots admits long-lived streaming jobs: capacity
+	// Config.MaxStreams (default Workers-1, so batch submits always have
+	// a worker left). See SubmitStream.
 	streamSlots chan struct{}
+
+	// Observability counters behind Stats(). Queued is read off the jobs
+	// channel length; the rest are lifetime atomics.
+	running       atomic.Int64 // requests a worker is executing now
+	activeStreams atomic.Int64 // streams between admission and last frame
+	completed     atomic.Int64 // requests finished without error
+	failed        atomic.Int64 // requests finished with an error
+	frames        atomic.Int64 // image frames produced by finished requests
 
 	// mu guards closed; inflight counts Submits past the closed check,
 	// so Close can wait out every concurrent enqueue before it drains
@@ -147,15 +182,12 @@ type Engine struct {
 // New starts an engine with cfg's worker pool.
 func New(cfg Config) *Engine {
 	cfg = cfg.withDefaults()
-	slots := cfg.Workers - 1
-	if slots < 1 {
-		slots = 1
-	}
 	e := &Engine{
 		cfg:         cfg,
 		jobs:        make(chan job, cfg.QueueDepth),
 		quit:        make(chan struct{}),
-		streamSlots: make(chan struct{}, slots),
+		start:       time.Now(),
+		streamSlots: make(chan struct{}, cfg.MaxStreams),
 	}
 	e.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -166,6 +198,66 @@ func New(cfg Config) *Engine {
 
 // Workers returns the pool size.
 func (e *Engine) Workers() int { return e.cfg.Workers }
+
+// MaxStreams returns the concurrent-stream admission cap.
+func (e *Engine) MaxStreams() int { return e.cfg.MaxStreams }
+
+// Stats is a point-in-time snapshot of engine load plus lifetime
+// throughput counters.
+type Stats struct {
+	// Workers and MaxStreams echo the engine sizing.
+	Workers, MaxStreams int
+	// Queued counts accepted requests no worker has picked up yet.
+	Queued int
+	// InFlight counts requests executing right now; streams count from
+	// admission to their last frame.
+	InFlight int
+	// ActiveStreams is the streaming subset of InFlight.
+	ActiveStreams int
+	// Completed and Failed count finished requests (Failed includes
+	// cancellations and ErrClosed rejections of queued work).
+	Completed, Failed int64
+	// Frames counts image frames produced by finished requests, and
+	// FramesPerSecond averages them over the engine's lifetime — the
+	// imaging-throughput figure of merit.
+	Frames          int64
+	FramesPerSecond float64
+}
+
+// Stats returns a snapshot of the engine's counters. Batch counters are
+// updated before a request's handle resolves; stream counters settle
+// just after the stream's Done fires, so a caller that has waited out
+// every submitted handle sees Completed+Failed reach the submission
+// count within one scheduling beat.
+func (e *Engine) Stats() Stats {
+	s := Stats{
+		Workers:       e.cfg.Workers,
+		MaxStreams:    e.cfg.MaxStreams,
+		Queued:        len(e.jobs),
+		InFlight:      int(e.running.Load()),
+		ActiveStreams: int(e.activeStreams.Load()),
+		Completed:     e.completed.Load(),
+		Failed:        e.failed.Load(),
+		Frames:        e.frames.Load(),
+	}
+	if elapsed := time.Since(e.start).Seconds(); elapsed > 0 {
+		s.FramesPerSecond = float64(s.Frames) / elapsed
+	}
+	return s
+}
+
+// finishJob records a batch result in the stats counters. Must run
+// before the handle resolves so Stats never under-counts settled work.
+func (e *Engine) finishJob(res Result) {
+	if res.Err != nil {
+		e.failed.Add(1)
+		return
+	}
+	e.completed.Add(1)
+	if res.Image != nil {
+		e.frames.Add(int64(res.Image.NumFrames()))
+	}
+}
 
 func (e *Engine) worker() {
 	defer e.wg.Done()
@@ -196,7 +288,13 @@ func (e *Engine) worker() {
 				e.runStream(j)
 				continue
 			}
-			j.h.res = run(j.ctx, j.req)
+			e.running.Add(1)
+			wait := time.Since(j.enq)
+			res := run(j.ctx, j.req)
+			res.QueueWait = wait
+			j.h.res = res
+			e.finishJob(res)
+			e.running.Add(-1)
 			close(j.h.done)
 		}
 	}
@@ -204,13 +302,20 @@ func (e *Engine) worker() {
 
 func run(ctx context.Context, req Request) Result {
 	if req.Tracker == nil {
-		return Result{Err: errors.New("pipeline: nil tracker")}
+		return Result{Mode: req.Mode, Err: errors.New("pipeline: nil tracker")}
 	}
 	if err := ctx.Err(); err != nil {
-		return Result{Err: err}
+		return Result{Mode: req.Mode, Err: err}
 	}
-	img, tr, err := req.Tracker.TrackCtx(ctx, req.StartT, req.Duration)
-	return Result{Image: img, Trace: tr, Err: err}
+	obs, err := req.Tracker.Observe(ctx, core.TrackRequest{
+		Mode:     req.Mode,
+		StartT:   req.StartT,
+		Duration: req.Duration,
+	})
+	if err != nil {
+		return Result{Mode: req.Mode, Err: err}
+	}
+	return Result{Mode: req.Mode, Image: obs.Image, Trace: obs.Trace, Gestures: obs.Gestures}
 }
 
 // Submit enqueues one request and returns its future. It blocks while
@@ -228,7 +333,7 @@ func (e *Engine) Submit(ctx context.Context, req Request) (*Handle, error) {
 	defer e.inflight.Done()
 	h := &Handle{done: make(chan struct{})}
 	select {
-	case e.jobs <- job{ctx: ctx, req: req, h: h}:
+	case e.jobs <- job{ctx: ctx, req: req, h: h, enq: time.Now()}:
 		return h, nil
 	case <-e.quit:
 		return nil, ErrClosed
@@ -292,11 +397,12 @@ func (e *Engine) Close() {
 // failJob reports a job that will never execute (engine closed),
 // releasing a stream job's admission slot.
 func (e *Engine) failJob(j job) {
+	e.failed.Add(1)
 	if j.stream != nil {
 		failStream(j)
 		<-e.streamSlots
 		return
 	}
-	j.h.res = Result{Err: ErrClosed}
+	j.h.res = Result{Mode: j.req.Mode, Err: ErrClosed}
 	close(j.h.done)
 }

@@ -15,30 +15,36 @@ import (
 // Compile-time check: the integrated device is a Tracker.
 var _ Tracker = (*core.Device)(nil)
 
-// fakeTracker stamps its id into the image so ordering is observable.
+// fakeTracker stamps its id into the image so ordering is observable,
+// and records the last request mode it saw (mode is per-request data).
 type fakeTracker struct {
-	id    int
-	delay time.Duration
-	err   error
-	calls atomic.Int32
+	id       int
+	delay    time.Duration
+	err      error
+	calls    atomic.Int32
+	lastMode atomic.Int32
 }
 
-func (f *fakeTracker) TrackCtx(ctx context.Context, startT, duration float64) (*isar.Image, *core.Trace, error) {
+func (f *fakeTracker) Observe(ctx context.Context, req core.TrackRequest) (*core.Observation, error) {
 	f.calls.Add(1)
+	f.lastMode.Store(int32(req.Mode))
 	if err := ctx.Err(); err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	if f.delay > 0 {
 		select {
 		case <-time.After(f.delay):
 		case <-ctx.Done():
-			return nil, nil, ctx.Err()
+			return nil, ctx.Err()
 		}
 	}
 	if f.err != nil {
-		return nil, nil, f.err
+		return nil, f.err
 	}
-	return &isar.Image{Times: []float64{float64(f.id), startT, duration}}, nil, nil
+	return &core.Observation{
+		Mode:  req.Mode,
+		Image: &isar.Image{Times: []float64{float64(f.id), req.StartT, req.Duration}},
+	}, nil
 }
 
 func TestBatchPreservesRequestOrder(t *testing.T) {
@@ -193,15 +199,15 @@ type slowTracker struct {
 	release chan struct{}
 }
 
-func (s *slowTracker) TrackCtx(ctx context.Context, startT, duration float64) (*isar.Image, *core.Trace, error) {
+func (s *slowTracker) Observe(ctx context.Context, req core.TrackRequest) (*core.Observation, error) {
 	if s.started != nil {
 		close(s.started)
 	}
 	select {
 	case <-s.release:
-		return &isar.Image{}, nil, nil
+		return &core.Observation{Mode: req.Mode, Image: &isar.Image{}}, nil
 	case <-ctx.Done():
-		return nil, nil, ctx.Err()
+		return nil, ctx.Err()
 	}
 }
 
@@ -337,5 +343,130 @@ func TestConfigDefaults(t *testing.T) {
 	}
 	if cap(eng.jobs) != 2*eng.Workers() {
 		t.Fatalf("default queue depth %d, want %d", cap(eng.jobs), 2*eng.Workers())
+	}
+	want := eng.Workers() - 1
+	if want < 1 {
+		want = 1
+	}
+	if eng.MaxStreams() != want {
+		t.Fatalf("default max streams %d, want %d", eng.MaxStreams(), want)
+	}
+}
+
+// TestModeThreadedPerRequest pins the api contract of the redesign: the
+// mode reaches the tracker as request data and echoes back in the
+// result, with no device state in between.
+func TestModeThreadedPerRequest(t *testing.T) {
+	eng := New(Config{Workers: 1})
+	defer eng.Close()
+	tr := &fakeTracker{id: 1}
+	for _, mode := range []core.Mode{core.ModeTracking, core.ModeGesture} {
+		h, err := eng.Submit(context.Background(), Request{Tracker: tr, Mode: mode, Duration: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := h.Wait(context.Background())
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		if res.Mode != mode {
+			t.Fatalf("result mode %v, want %v", res.Mode, mode)
+		}
+		if got := core.Mode(tr.lastMode.Load()); got != mode {
+			t.Fatalf("tracker saw mode %v, want %v", got, mode)
+		}
+	}
+}
+
+// TestStatsCounters drives a known request mix through the engine and
+// checks the Stats snapshot settles to exact lifetime counts.
+func TestStatsCounters(t *testing.T) {
+	eng := New(Config{Workers: 2})
+	defer eng.Close()
+	ctx := context.Background()
+	const good, bad = 6, 2
+	var handles []*Handle
+	for i := 0; i < good; i++ {
+		h, err := eng.Submit(ctx, Request{Tracker: &fakeTracker{id: i}, Duration: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, h)
+	}
+	for i := 0; i < bad; i++ {
+		h, err := eng.Submit(ctx, Request{Tracker: &fakeTracker{id: i, err: errors.New("boom")}, Duration: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, h)
+	}
+	var frames int64
+	for _, h := range handles {
+		if res := h.Wait(ctx); res.Err == nil {
+			frames += int64(res.Image.NumFrames())
+			if res.QueueWait < 0 {
+				t.Fatalf("negative queue wait %v", res.QueueWait)
+			}
+		}
+	}
+	s := eng.Stats()
+	if s.Completed != good || s.Failed != bad {
+		t.Fatalf("completed/failed = %d/%d, want %d/%d", s.Completed, s.Failed, good, bad)
+	}
+	if s.Frames != frames {
+		t.Fatalf("frames = %d, want %d", s.Frames, frames)
+	}
+	if s.Queued != 0 || s.InFlight != 0 || s.ActiveStreams != 0 {
+		t.Fatalf("idle engine reports queued=%d inflight=%d streams=%d", s.Queued, s.InFlight, s.ActiveStreams)
+	}
+	if s.Workers != 2 || s.FramesPerSecond <= 0 {
+		t.Fatalf("stats sizing/rate: %+v", s)
+	}
+}
+
+// TestMaxStreamsOverride: raising MaxStreams above the Workers-1 default
+// admits more concurrent streams.
+func TestMaxStreamsOverride(t *testing.T) {
+	eng := New(Config{Workers: 3, MaxStreams: 2})
+	defer eng.Close()
+	ctx := context.Background()
+	sh1, err := eng.SubmitStream(ctx, StreamRequest{Tracker: newPacedStreamDevice(t, 61, 20*time.Millisecond), Duration: 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st1, err := sh1.Stream(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st1.Next(); !ok {
+		t.Fatalf("first stream died: %v", st1.Err())
+	}
+	// Second stream admitted concurrently (default cap would allow it
+	// too with 3 workers; the third proves the override is the binding
+	// limit).
+	sh2, err := eng.SubmitStream(ctx, StreamRequest{Tracker: newPacedStreamDevice(t, 62, 20*time.Millisecond), Duration: 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err := sh2.Stream(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st2.Next(); !ok {
+		t.Fatalf("second stream died: %v", st2.Err())
+	}
+	if got := eng.Stats().ActiveStreams; got != 2 {
+		t.Fatalf("active streams = %d, want 2", got)
+	}
+	admitCtx, cancelAdmit := context.WithTimeout(ctx, 50*time.Millisecond)
+	defer cancelAdmit()
+	if _, err := eng.SubmitStream(admitCtx, StreamRequest{Tracker: newStreamDevice(t, 63), Duration: 0.5}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("third stream admission: %v, want deadline exceeded", err)
+	}
+	if _, _, err := st1.Result(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := st2.Result(); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -17,22 +17,26 @@ package pipeline
 import (
 	"context"
 	"errors"
+	"time"
 
 	"wivi/internal/core"
 )
 
-// StreamTracker is a device that can stream a track capture.
-// *core.Device implements it.
+// StreamTracker is a device that can stream a capture. *core.Device
+// implements it. Like Tracker, the mode arrives with the request.
 type StreamTracker interface {
-	// TrackStreamCtx starts an incremental capture of duration seconds at
-	// startT; frames arrive through the returned Stream.
-	TrackStreamCtx(ctx context.Context, startT, duration float64, opts core.StreamOptions) (*core.Stream, error)
+	// ObserveStream starts an incremental capture of the request's span;
+	// frames arrive through the returned Stream, and the request's mode
+	// selects the decode applied at assembly (Stream.Observation).
+	ObserveStream(ctx context.Context, req core.TrackRequest) (*core.Stream, error)
 }
 
 // StreamRequest is one streaming capture to schedule.
 type StreamRequest struct {
 	// Tracker is the device to drive.
 	Tracker StreamTracker
+	// Mode is the per-request processing mode.
+	Mode core.Mode
 	// StartT and Duration delimit the capture in seconds.
 	StartT, Duration float64
 	// ChunkSamples is the capture chunk granularity (0 = device default).
@@ -43,9 +47,18 @@ type StreamRequest struct {
 // StreamHandle is the future for a submitted stream: the capture starts
 // when a worker picks the request up, and Stream blocks until then.
 type StreamHandle struct {
-	started chan struct{}
-	stream  *core.Stream
-	err     error
+	started   chan struct{}
+	stream    *core.Stream
+	err       error
+	queueWait time.Duration
+}
+
+// QueueWait reports how long the request sat between submission and a
+// worker picking it up (admission wait is paid inside SubmitStream and
+// not counted here). Valid once Stream has returned.
+func (h *StreamHandle) QueueWait() time.Duration {
+	<-h.started
+	return h.queueWait
 }
 
 // Stream blocks until the capture has started (or failed to) and returns
@@ -90,7 +103,7 @@ func (e *Engine) SubmitStream(ctx context.Context, req StreamRequest) (*StreamHa
 	}
 	h := &StreamHandle{started: make(chan struct{})}
 	select {
-	case e.jobs <- job{ctx: ctx, stream: &req, sh: h}:
+	case e.jobs <- job{ctx: ctx, stream: &req, sh: h, enq: time.Now()}:
 		return h, nil
 	case <-e.quit:
 		<-e.streamSlots
@@ -105,15 +118,36 @@ func (e *Engine) SubmitStream(ctx context.Context, req StreamRequest) (*StreamHa
 // the live stream to the submitter, then hold the worker slot until the
 // stream completes. The admission slot frees with it.
 func (e *Engine) runStream(j job) {
-	defer func() { <-e.streamSlots }()
-	st, err := j.stream.Tracker.TrackStreamCtx(j.ctx, j.stream.StartT, j.stream.Duration,
-		core.StreamOptions{ChunkSamples: j.stream.ChunkSamples})
+	e.running.Add(1)
+	e.activeStreams.Add(1)
+	defer func() {
+		e.activeStreams.Add(-1)
+		e.running.Add(-1)
+		<-e.streamSlots
+	}()
+	st, err := j.stream.Tracker.ObserveStream(j.ctx, core.TrackRequest{
+		Mode:         j.stream.Mode,
+		StartT:       j.stream.StartT,
+		Duration:     j.stream.Duration,
+		ChunkSamples: j.stream.ChunkSamples,
+	})
+	j.sh.queueWait = time.Since(j.enq)
 	j.sh.stream, j.sh.err = st, err
 	close(j.sh.started)
-	if err == nil {
-		// The stream honors its context at chunk granularity, so a
-		// canceled caller releases this slot promptly.
-		<-st.Done()
+	if err != nil {
+		e.failed.Add(1)
+		return
+	}
+	// The stream honors its context at chunk granularity, so a canceled
+	// caller releases this slot promptly. The engine observes Done like
+	// any other waiter, so the counters settle just after it fires —
+	// stream stats are eventually consistent, not synchronized with Done.
+	<-st.Done()
+	e.frames.Add(int64(st.Emitted()))
+	if st.Err() != nil {
+		e.failed.Add(1)
+	} else {
+		e.completed.Add(1)
 	}
 }
 

@@ -23,6 +23,15 @@
 //	}
 //	res, _ = ts.Result()
 //
+// Underneath every entry point sits the Engine service API (engine.go):
+// an explicitly owned worker pool accepting mixed workloads, with mode
+// as per-request data. Servers create their own pools:
+//
+//	eng := wivi.NewEngine(wivi.EngineOptions{Workers: 8})
+//	defer eng.Close()
+//	h, _ := eng.Submit(ctx, wivi.Request{Device: dev, Duration: 10, Mode: wivi.Gesture})
+//	res, _ := h.Wait(ctx)                   // res.Message is the decoded text
+//
 // Because the original is a hardware system (USRP software radios), this
 // library ships with a physical simulator substrate (channel synthesis,
 // SDR front end, human motion); see DESIGN.md for the substitution
@@ -38,13 +47,11 @@ import (
 	"iter"
 	"reflect"
 	"strings"
-	"sync"
 
 	"wivi/internal/core"
 	"wivi/internal/detect"
 	"wivi/internal/isar"
 	"wivi/internal/motion"
-	"wivi/internal/pipeline"
 	"wivi/internal/rf"
 	"wivi/internal/sim"
 )
@@ -254,40 +261,28 @@ type TrackingResult struct {
 	dev *Device
 }
 
-// sharedEngine is the lazily started engine behind Track and TrackCtx: a
-// bounded worker pool sized to the machine, shared by every device so
-// independent callers multiplex instead of oversubscribing.
-var (
-	engineOnce   sync.Once
-	sharedEngine *pipeline.Engine
-)
-
-func defaultEngine() *pipeline.Engine {
-	engineOnce.Do(func() { sharedEngine = pipeline.New(pipeline.Config{}) })
-	return sharedEngine
-}
-
 // Track nulls (if needed), captures duration seconds and runs the
 // smoothed-MUSIC ISAR chain (§5).
 func (d *Device) Track(duration float64) (*TrackingResult, error) {
 	return d.TrackCtx(context.Background(), duration)
 }
 
-// TrackCtx is Track with cancellation. The capture is scheduled on the
-// shared concurrent engine: captures of one device serialize (a radio is
+// TrackCtx is Track with cancellation. The request is scheduled on the
+// shared default engine: captures of one device serialize (a radio is
 // one stateful instrument) while different devices and the per-frame
 // ISAR stages run in parallel, so the result is identical to a direct
-// sequential Track.
+// sequential Track. Callers that need an isolated pool submit the same
+// Request through their own NewEngine.
 func (d *Device) TrackCtx(ctx context.Context, duration float64) (*TrackingResult, error) {
-	h, err := defaultEngine().Submit(ctx, pipeline.Request{Tracker: d.pipeline, Duration: duration})
+	h, err := defaultEngine().Submit(ctx, Request{Device: d, Duration: duration})
 	if err != nil {
 		return nil, err
 	}
-	res := h.Wait(ctx)
-	if res.Err != nil {
-		return nil, res.Err
+	res, err := h.Wait(ctx)
+	if err != nil {
+		return nil, err
 	}
-	return &TrackingResult{img: res.Image, dev: d}, nil
+	return res.Tracking, nil
 }
 
 // StreamFrame is one column of the angle-time image, emitted while the
@@ -317,30 +312,23 @@ type TrackStream struct {
 // incrementally: instead of buffering the whole capture before imaging,
 // frames of the angle-time image are emitted as soon as their analysis
 // windows close — the first after ~0.32 s of samples, not after the
-// whole capture. The capture is scheduled on the shared engine; it
-// occupies one worker slot for its whole span, and the engine admits at
-// most workers-1 concurrent streams so batch Track submits keep a
-// worker (except on single-worker engines — GOMAXPROCS=1 hosts — where
-// one stream is still admitted and batch submits queue behind it).
-// Canceling ctx aborts the capture at the next chunk boundary.
+// whole capture. The request is scheduled on the shared default engine;
+// it occupies one worker slot for its whole span, and the engine admits
+// at most MaxStreams (default workers-1) concurrent streams so batch
+// Track submits keep a worker (except on single-worker engines —
+// GOMAXPROCS=1 hosts — where one stream is still admitted and batch
+// submits queue behind it). Canceling ctx aborts the capture at the
+// next chunk boundary.
 //
 // The streamed frames are byte-identical to the batch path: for the
 // same scene and duration, Result().Equal(Track's result) always holds,
 // whatever the worker count or chunk size.
 func (d *Device) TrackStream(ctx context.Context, duration float64) (*TrackStream, error) {
-	h, err := defaultEngine().SubmitStream(ctx, pipeline.StreamRequest{
-		Tracker:      d.pipeline,
-		Duration:     duration,
-		ChunkSamples: d.streamChunk,
-	})
+	h, err := defaultEngine().Submit(ctx, Request{Device: d, Duration: duration, Stream: true})
 	if err != nil {
 		return nil, err
 	}
-	st, err := h.Stream(ctx)
-	if err != nil {
-		return nil, err
-	}
-	return &TrackStream{dev: d, inner: st}, nil
+	return h.Stream(ctx)
 }
 
 // Next blocks until the next frame is available and returns it; ok is
@@ -401,41 +389,50 @@ type TrackManyOptions struct {
 }
 
 // TrackMany captures duration seconds on every device concurrently,
-// multiplexing the scenes over a bounded worker pool with context
-// cancellation. results[i] belongs to devices[i] and is identical to
-// what devices[i].Track(duration) would have returned. On failure the
-// error reports the first failing scene (a nil device counts as one)
-// while the remaining entries are still returned; failed scenes are nil
-// in the slice.
+// multiplexing the scenes over an engine with context cancellation.
+// results[i] belongs to devices[i] and is identical to what
+// devices[i].Track(duration) would have returned. On failure the error
+// reports the first failing scene (a nil device counts as one) while
+// the remaining entries are still returned; failed scenes are nil in
+// the slice.
 func TrackMany(ctx context.Context, devices []*Device, duration float64, opts TrackManyOptions) ([]*TrackingResult, error) {
 	if len(devices) == 0 {
 		return nil, nil
 	}
-	reqs := make([]pipeline.Request, len(devices))
-	for i, d := range devices {
-		reqs[i] = pipeline.Request{Duration: duration}
-		if d != nil {
-			reqs[i].Tracker = d.pipeline
-		}
+	eng := defaultEngine()
+	if opts.Workers > 0 {
+		private := NewEngine(EngineOptions{Workers: opts.Workers, QueueDepth: len(devices)})
+		defer private.Close()
+		eng = private
 	}
-	var results []pipeline.Result
-	if opts.Workers == 0 {
-		results = defaultEngine().TrackBatch(ctx, reqs)
-	} else {
-		eng := pipeline.New(pipeline.Config{Workers: opts.Workers, QueueDepth: len(reqs)})
-		defer eng.Close()
-		results = eng.TrackBatch(ctx, reqs)
+	handles := make([]*Handle, len(devices))
+	errs := make([]error, len(devices))
+	for i, d := range devices {
+		if d == nil {
+			errs[i] = errors.New("wivi: nil device")
+			continue
+		}
+		h, err := eng.Submit(ctx, Request{Device: d, Duration: duration})
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		handles[i] = h
 	}
 	out := make([]*TrackingResult, len(devices))
 	var firstErr error
-	for i, r := range results {
-		if r.Err != nil {
-			if firstErr == nil {
-				firstErr = fmt.Errorf("wivi: scene %d: %w", i, r.Err)
+	for i := range devices {
+		err := errs[i]
+		if handles[i] != nil {
+			var res *Result
+			if res, err = handles[i].Wait(ctx); err == nil {
+				out[i] = res.Tracking
+				continue
 			}
-			continue
 		}
-		out[i] = &TrackingResult{img: r.Image, dev: devices[i]}
+		if firstErr == nil {
+			firstErr = fmt.Errorf("wivi: scene %d: %w", i, err)
+		}
 	}
 	return out, firstErr
 }
@@ -516,33 +513,22 @@ func (d *Device) DecodeMessage(duration float64) (*DecodedMessage, error) {
 }
 
 // DecodeMessageCtx is DecodeMessage with cancellation. Like TrackCtx,
-// the capture is scheduled on the shared concurrent engine (captures of
+// the request is scheduled on the shared default engine (captures of
 // one device serialize; the gesture decode itself is pure compute), so
 // gesture captures multiplex fairly with tracking traffic instead of
-// bypassing the worker pool.
+// bypassing the worker pool. Gesture is per-request data — no device
+// state changes — so concurrent Track and DecodeMessage calls on one
+// device are safe and each sees exactly its own mode.
 func (d *Device) DecodeMessageCtx(ctx context.Context, duration float64) (*DecodedMessage, error) {
-	d.pipeline.SetMode(core.ModeGesture)
-	h, err := defaultEngine().Submit(ctx, pipeline.Request{Tracker: d.pipeline, Duration: duration})
+	h, err := defaultEngine().Submit(ctx, Request{Device: d, Duration: duration, Mode: Gesture})
 	if err != nil {
 		return nil, err
 	}
-	r := h.Wait(ctx)
-	if r.Err != nil {
-		return nil, r.Err
-	}
-	res, err := d.pipeline.DecodeGestures(r.Image)
+	res, err := h.Wait(ctx)
 	if err != nil {
 		return nil, err
 	}
-	out := &DecodedMessage{
-		SNRsDB:   append([]float64(nil), res.BitSNRsDB...),
-		Erasures: res.Erasures,
-		Steps:    len(res.Steps),
-	}
-	for _, b := range res.Bits {
-		out.Bits = append(out.Bits, Bit(b))
-	}
-	return out, nil
+	return res.Message, nil
 }
 
 // String renders the decoded bits as a "0101" string.
