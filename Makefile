@@ -1,10 +1,31 @@
 # Tier-1 gate, mirrored by .github/workflows/ci.yml.
-.PHONY: check vet build examples test smoke bench
+.PHONY: check fmt vet staticcheck build examples test smoke bench bench-json
 
-check: vet build examples test smoke
+# Pinned staticcheck release, mirrored by CI. Bump deliberately: a new
+# release can add checks and turn a green tree red.
+STATICCHECK_VERSION = 2025.1.1
+
+check: fmt vet staticcheck build examples test smoke
+
+# gofmt gate: fail (and list the offenders) if any file needs formatting.
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt: these files need formatting:"; echo "$$out"; exit 1; fi
 
 vet:
 	go vet ./...
+
+# staticcheck gate. Uses an installed binary when present, else fetches
+# the pinned release via `go run`. Offline hosts without the tool skip
+# with a notice — CI always runs it pinned, so the gate still holds.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	elif go run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) -version >/dev/null 2>&1; then \
+		go run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...; \
+	else \
+		echo "staticcheck $(STATICCHECK_VERSION) not installed and not fetchable (offline?); skipped — CI runs it pinned"; \
+	fi
 
 build:
 	go build ./...
@@ -21,12 +42,32 @@ test:
 # Track and that the first frame lands well before the capture ends.
 # Mixed smoke: concurrent track + gesture + stream requests against one
 # explicit engine, per-mode throughput/queue wait, identity checks.
+# Paced smoke: concurrent real-time paced streams; enforces the
+# wall-clock SLOs (real-time factor >= 1.0, p95 frame lag < one
+# analysis window) and typed deadline rejection.
 # (The public-API guard — TestPublicAPISurface vs testdata/api.txt —
 # runs inside `make test`.)
 smoke:
 	go run ./cmd/wivi-bench -stream -batch 4 -trackdur 2
 	go run ./cmd/wivi-bench -mixed -batch 2 -trackdur 2
+	go run ./cmd/wivi-bench -paced -batch 2 -trackdur 2
 
-# Engine throughput: sequential vs parallel batch tracking.
+# Engine benchmarks: sequential vs parallel batch tracking, streamed
+# frames/s, and the paced chain's per-frame lag (wall-clock bound).
 bench:
-	go test -run '^$$' -bench 'BenchmarkTrack(Sequential|Parallel)' -benchtime 5x .
+	go test -run '^$$' -bench 'BenchmarkTrack(Sequential|Parallel|Stream|Paced)' -benchtime 5x .
+
+# Machine-readable bench trajectory: every engine mode with -json
+# (schema "wivi-bench/1", see cmd/wivi-bench/report.go), merged into
+# one $(BENCH_OUT). CI runs the same recipe and uploads the file as a
+# per-PR artifact.
+BENCH_OUT = BENCH_local.json
+bench-json:
+	go run ./cmd/wivi-bench -batch 4 -trackdur 2 -json  > bench-batch.json
+	go run ./cmd/wivi-bench -stream -batch 4 -trackdur 2 -json > bench-stream.json
+	go run ./cmd/wivi-bench -mixed -batch 2 -trackdur 2 -json  > bench-mixed.json
+	go run ./cmd/wivi-bench -paced -batch 2 -trackdur 2 -json  > bench-paced.json
+	jq -s '{schema: "wivi-bench/1", runs: .}' \
+		bench-batch.json bench-stream.json bench-mixed.json bench-paced.json > $(BENCH_OUT)
+	rm -f bench-batch.json bench-stream.json bench-mixed.json bench-paced.json
+	@echo "wrote $(BENCH_OUT)"

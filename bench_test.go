@@ -10,6 +10,7 @@ package wivi
 import (
 	"context"
 	"testing"
+	"time"
 
 	"wivi/internal/eval"
 )
@@ -100,6 +101,66 @@ func BenchmarkTrackParallel(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(benchBatch*b.N)/b.Elapsed().Seconds(), "scenes/s")
+}
+
+// BenchmarkTrackStream streams one scene end to end (capture running
+// while frames emit) and reports frames/s — the incremental chain's
+// throughput figure.
+func BenchmarkTrackStream(b *testing.B) {
+	devices := buildBenchBatch(b, 0)
+	b.ResetTimer()
+	frames := 0
+	for i := 0; i < b.N; i++ {
+		ts, err := devices[i%len(devices)].TrackStream(context.Background(), benchTrackDur)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for range ts.Frames() {
+			frames++
+		}
+		if _, err := ts.Result(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(frames)/b.Elapsed().Seconds(), "frames/s")
+}
+
+// BenchmarkTrackPaced streams one scene on a paced device: samples
+// arrive at the radio's real cadence, so each iteration is wall-clock
+// bound at benchPacedDur seconds and the interesting metric is the
+// per-frame lag, not the elapsed time.
+func BenchmarkTrackPaced(b *testing.B) {
+	const benchPacedDur = 0.4 // paced iterations cost real wall clock
+	sc := NewScene(SceneOptions{Seed: 1000})
+	if err := sc.AddWalker(benchPacedDur + 1); err != nil {
+		b.Fatal(err)
+	}
+	dev, err := NewDevice(sc, DeviceOptions{Paced: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := dev.Null(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var lagSum time.Duration
+	frames := 0
+	for i := 0; i < b.N; i++ {
+		ts, err := dev.TrackStream(context.Background(), benchPacedDur)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for fr := range ts.Frames() {
+			lagSum += fr.Lag
+			frames++
+		}
+		if _, err := ts.Result(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if frames > 0 {
+		b.ReportMetric(float64(lagSum)/float64(frames)/1e6, "lag-ms/frame")
+	}
 }
 
 // BenchmarkTable41Attenuation regenerates Table 4.1 (one-way attenuation

@@ -10,6 +10,8 @@
 //	wivi-bench -batch 32 -workers 8 # engine throughput mode (see below)
 //	wivi-bench -stream -batch 4     # streaming latency mode (see below)
 //	wivi-bench -mixed -batch 2      # mixed-workload mode (see below)
+//	wivi-bench -paced -batch 4      # real-time paced mode (see below)
+//	wivi-bench -stream -json        # machine-readable report on stdout
 //
 // Throughput mode (-batch N) exercises the concurrent tracking engine
 // instead of the evaluation suite: it builds N independent one-walker
@@ -21,8 +23,8 @@
 // incremental tracking chain: each scene is tracked once through batch
 // Track and once through TrackStream, the streamed result is verified
 // byte-identical to batch, and the mode reports time-to-first-frame
-// (which must be a small fraction of the full capture), mean and max
-// inter-frame latency, and throughput.
+// (which must be a small fraction of the full capture), inter-frame
+// latency, frame-lag percentiles, and throughput.
 //
 // Mixed mode (-mixed, with -batch N requests per kind) exercises the
 // Engine service API under heterogeneous traffic: N track, N gesture
@@ -30,12 +32,26 @@
 // wivi.NewEngine pool, reporting per-mode throughput, queue wait and
 // latency plus the engine's Stats() counters, with the batch/stream
 // identity check and exact gesture decode retained under mixing.
+//
+// Paced mode (-paced, with -batch N streams) restores the constraint the
+// paper's hardware imposes: N concurrent streams on paced devices whose
+// samples arrive at the radio's SampleT cadence. It reports the
+// real-time factor (unpaced compute margin), time-to-first-frame and
+// per-frame lag percentiles, enforces the wall-clock SLOs (real-time
+// factor >= 1.0, p95 frame lag < one analysis window), keeps the
+// batch/stream identity check, and exercises typed deadline rejection.
+//
+// Every engine mode accepts -json: the mode's figures are emitted as a
+// single JSON object on stdout (schema "wivi-bench/1", see report.go)
+// while the narration moves to stderr, so runs are machine-comparable
+// and CI accumulates them as BENCH_*.json artifacts.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"runtime"
@@ -57,37 +73,66 @@ func main() {
 		workers  = flag.Int("workers", 0, "worker pool size for experiments and -batch mode (0 = one per CPU)")
 		batch    = flag.Int("batch", 0, "engine throughput mode: track this many scenes instead of running experiments")
 		trackDur = flag.Float64("trackdur", 4, "per-scene capture duration in seconds for -batch mode")
-		stream   = flag.Bool("stream", false, "streaming latency mode over -batch scenes (default 4): time-to-first-frame, inter-frame latency, batch-identity check")
+		stream   = flag.Bool("stream", false, "streaming latency mode over -batch scenes (default 4): time-to-first-frame, frame lag, batch-identity check")
 		mixed    = flag.Bool("mixed", false, "mixed-workload mode: -batch (default 2) track + gesture + stream requests each against one explicit engine")
+		paced    = flag.Bool("paced", false, "real-time paced mode: -batch (default 2) concurrent paced streams with wall-clock SLO enforcement")
+		jsonOut  = flag.Bool("json", false, "emit a machine-readable JSON report on stdout (narration moves to stderr)")
 	)
 	flag.Parse()
 	if *workers < 1 {
 		*workers = runtime.GOMAXPROCS(0)
 	}
 
-	if *mixed {
-		if *run != "" || *quick || *stream {
-			log.Fatal("-mixed runs the mixed-workload mode and is incompatible with -run/-quick/-stream")
+	// Under -json, stdout carries exactly one JSON object.
+	var out io.Writer = os.Stdout
+	if *jsonOut {
+		out = os.Stderr
+	}
+	finish := func(rep *benchReport, err error) {
+		if err != nil {
+			log.Fatal(err)
 		}
+		if *jsonOut {
+			if err := emitJSON(rep); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	exclusive := 0
+	for _, on := range []bool{*mixed, *stream, *paced} {
+		if on {
+			exclusive++
+		}
+	}
+	if exclusive > 1 {
+		log.Fatal("-stream, -mixed and -paced are mutually exclusive modes")
+	}
+	if exclusive > 0 && (*run != "" || *quick) {
+		log.Fatal("-stream/-mixed/-paced are engine modes and are incompatible with -run/-quick")
+	}
+
+	if *paced {
 		if *batch < 1 {
 			*batch = 2
 		}
-		if err := runMixedMode(*batch, *workers, *seed, *trackDur); err != nil {
-			log.Fatal(err)
+		finish(runPacedMode(out, *batch, *workers, *seed, *trackDur))
+		return
+	}
+
+	if *mixed {
+		if *batch < 1 {
+			*batch = 2
 		}
+		finish(runMixedMode(out, *batch, *workers, *seed, *trackDur))
 		return
 	}
 
 	if *stream {
-		if *run != "" || *quick {
-			log.Fatal("-stream runs the streaming latency mode and is incompatible with -run/-quick")
-		}
 		if *batch < 1 {
 			*batch = 4
 		}
-		if err := runStreamMode(*batch, *seed, *trackDur); err != nil {
-			log.Fatal(err)
-		}
+		finish(runStreamMode(out, *batch, *seed, *trackDur))
 		return
 	}
 
@@ -95,9 +140,7 @@ func main() {
 		if *run != "" || *quick {
 			log.Fatal("-batch runs the engine throughput mode and is incompatible with -run/-quick")
 		}
-		if err := runBatchMode(*batch, *workers, *seed, *trackDur); err != nil {
-			log.Fatal(err)
-		}
+		finish(runBatchMode(out, *batch, *workers, *seed, *trackDur))
 		return
 	}
 
@@ -112,7 +155,7 @@ func main() {
 	}
 	failures := 0
 	runExperiments(selected, opts, *workers, func(r *eval.Report) {
-		fmt.Println(r)
+		fmt.Fprintln(out, r)
 		if !r.Pass {
 			failures++
 		}
@@ -121,8 +164,19 @@ func main() {
 	if *quick {
 		scale = "quick"
 	}
-	fmt.Printf("ran %d experiments (%s scale, seed %d, %d workers) in %.1fs; %d shape mismatches\n",
-		len(selected), scale, *seed, *workers, time.Since(start).Seconds(), failures)
+	elapsed := time.Since(start)
+	fmt.Fprintf(out, "ran %d experiments (%s scale, seed %d, %d workers) in %.1fs; %d shape mismatches\n",
+		len(selected), scale, *seed, *workers, elapsed.Seconds(), failures)
+	if *jsonOut {
+		rep := newBenchReport("eval", *workers, 0, 0)
+		rep.Experiments = len(selected)
+		rep.Failures = failures
+		rep.ElapsedS = elapsed.Seconds()
+		rep.Identity = failures == 0
+		if err := emitJSON(rep); err != nil {
+			log.Fatal(err)
+		}
+	}
 	if failures > 0 {
 		os.Exit(1)
 	}
@@ -175,9 +229,11 @@ func runExperiments(exps []eval.Experiment, opts eval.Options, workers int, emit
 // runStreamMode measures the streaming chain's latency profile against
 // the batch baseline on identical scenes: time-to-first-frame (the
 // batch path's first frame arrives only after the whole capture),
-// inter-frame latency, and the byte-identity check.
-func runStreamMode(batch int, seed int64, trackDur float64) error {
-	fmt.Printf("streaming latency: %d scenes x %.1fs capture\n", batch, trackDur)
+// inter-frame latency, per-frame lag percentiles, and the byte-identity
+// check.
+func runStreamMode(out io.Writer, batch int, seed int64, trackDur float64) (*benchReport, error) {
+	fmt.Fprintf(out, "streaming latency: %d scenes x %.1fs capture\n", batch, trackDur)
+	rep := newBenchReport("stream", 1, batch, trackDur)
 	buildDevice := func(i int) (*wivi.Device, error) {
 		sc := wivi.NewScene(wivi.SceneOptions{Seed: seed + int64(i)})
 		if err := sc.AddWalker(trackDur + 1); err != nil {
@@ -189,34 +245,36 @@ func runStreamMode(batch int, seed int64, trackDur float64) error {
 	var (
 		ttffSum, interSum, interMax, batchSum, streamSum float64
 		interN                                           int
+		lags                                             []time.Duration
 	)
 	for i := 0; i < batch; i++ {
 		// Batch baseline on a fresh identical scene (nulling included, so
 		// both paths pay the same auto-null cost).
 		dev, err := buildDevice(i)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		batchStart := time.Now()
 		want, err := dev.Track(trackDur)
 		if err != nil {
-			return fmt.Errorf("batch scene %d: %w", i, err)
+			return nil, fmt.Errorf("batch scene %d: %w", i, err)
 		}
 		batchElapsed := time.Since(batchStart).Seconds()
 
 		sdev, err := buildDevice(i)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		streamStart := time.Now()
 		ts, err := sdev.TrackStream(context.Background(), trackDur)
 		if err != nil {
-			return fmt.Errorf("stream scene %d: %w", i, err)
+			return nil, fmt.Errorf("stream scene %d: %w", i, err)
 		}
+		rep.WindowMs = ms(ts.WindowDuration())
 		var ttff float64
 		last := streamStart
 		frames := 0
-		for range ts.Frames() {
+		for fr := range ts.Frames() {
 			now := time.Now()
 			if frames == 0 {
 				ttff = now.Sub(streamStart).Seconds()
@@ -228,47 +286,58 @@ func runStreamMode(batch int, seed int64, trackDur float64) error {
 				}
 				interN++
 			}
+			lags = append(lags, fr.Lag)
 			last = now
 			frames++
 		}
 		got, err := ts.Result()
 		if err != nil {
-			return fmt.Errorf("stream scene %d: %w", i, err)
+			return nil, fmt.Errorf("stream scene %d: %w", i, err)
 		}
 		streamElapsed := time.Since(streamStart).Seconds()
 
 		// The streamed image must be byte-identical to batch Track.
 		if !got.Equal(want) {
-			return fmt.Errorf("scene %d: streamed result differs from batch Track", i)
+			return nil, fmt.Errorf("scene %d: streamed result differs from batch Track", i)
 		}
 		if frames != want.NumFrames() {
-			return fmt.Errorf("scene %d: streamed %d frames, batch has %d", i, frames, want.NumFrames())
+			return nil, fmt.Errorf("scene %d: streamed %d frames, batch has %d", i, frames, want.NumFrames())
 		}
 		ttffSum += ttff
 		batchSum += batchElapsed
 		streamSum += streamElapsed
-		fmt.Printf("  scene %d: %3d frames, first frame %6.1fms (%4.1f%% of stream), stream %6.1fms, batch-to-first-output %6.1fms\n",
+		fmt.Fprintf(out, "  scene %d: %3d frames, first frame %6.1fms (%4.1f%% of stream), stream %6.1fms, batch-to-first-output %6.1fms\n",
 			i, frames, ttff*1e3, 100*ttff/streamElapsed, streamElapsed*1e3, batchElapsed*1e3)
 	}
 	n := float64(batch)
-	fmt.Printf("  time-to-first-frame: %.1fms mean (batch path: %.1fms — the whole capture)\n",
+	fmt.Fprintf(out, "  time-to-first-frame: %.1fms mean (batch path: %.1fms — the whole capture)\n",
 		ttffSum/n*1e3, batchSum/n*1e3)
 	if interN > 0 {
-		fmt.Printf("  inter-frame latency: %.2fms mean, %.2fms max over %d gaps\n",
+		fmt.Fprintf(out, "  inter-frame latency: %.2fms mean, %.2fms max over %d gaps\n",
 			interSum/float64(interN)*1e3, interMax*1e3, interN)
 	}
-	fmt.Printf("  throughput: %.2f scenes/s streamed (%.2f batch); outputs identical across %d scenes\n",
+	rep.Identity = true
+	rep.ElapsedS = streamSum
+	rep.ScenesPerSec = n / streamSum
+	rep.TTFFMs = ttffSum / n * 1e3
+	rep.FrameLagP50Ms = percentileMs(lags, 50)
+	rep.FrameLagP95Ms = percentileMs(lags, 95)
+	rep.FrameLagP99Ms = percentileMs(lags, 99)
+	fmt.Fprintf(out, "  frame lag: p50 %.2fms  p95 %.2fms  p99 %.2fms over %d frames\n",
+		rep.FrameLagP50Ms, rep.FrameLagP95Ms, rep.FrameLagP99Ms, len(lags))
+	fmt.Fprintf(out, "  throughput: %.2f scenes/s streamed (%.2f batch); outputs identical across %d scenes\n",
 		n/streamSum, n/batchSum, batch)
 	if mean := ttffSum / n; mean > 0.5*streamSum/n {
-		return fmt.Errorf("time-to-first-frame %.1fms is not small relative to the %.1fms capture — streaming latency regressed",
+		return nil, fmt.Errorf("time-to-first-frame %.1fms is not small relative to the %.1fms capture — streaming latency regressed",
 			mean*1e3, streamSum/n*1e3)
 	}
-	return nil
+	return rep, nil
 }
 
 // runBatchMode measures the concurrent engine's scene throughput against
 // the sequential baseline on identical scene sets.
-func runBatchMode(batch, workers int, seed int64, trackDur float64) error {
+func runBatchMode(out io.Writer, batch, workers int, seed int64, trackDur float64) (*benchReport, error) {
+	rep := newBenchReport("batch", workers, batch, trackDur)
 	// frameWorkers 1 builds the truly sequential baseline (no per-frame
 	// fan-out either); 0 keeps the default per-CPU fan-out. The knob
 	// never changes the output image, so the identity check below still
@@ -289,18 +358,18 @@ func runBatchMode(batch, workers int, seed int64, trackDur float64) error {
 		return devices, nil
 	}
 
-	fmt.Printf("engine throughput: %d scenes x %.1fs capture, %d workers\n", batch, trackDur, workers)
+	fmt.Fprintf(out, "engine throughput: %d scenes x %.1fs capture, %d workers\n", batch, trackDur, workers)
 
 	seqDevices, err := buildDevices(1)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	seqStart := time.Now()
 	seqResults := make([]*wivi.TrackingResult, batch)
 	for i, d := range seqDevices {
 		res, err := d.Track(trackDur)
 		if err != nil {
-			return fmt.Errorf("sequential scene %d: %w", i, err)
+			return nil, fmt.Errorf("sequential scene %d: %w", i, err)
 		}
 		seqResults[i] = res
 	}
@@ -308,13 +377,13 @@ func runBatchMode(batch, workers int, seed int64, trackDur float64) error {
 
 	parDevices, err := buildDevices(0)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	parStart := time.Now()
 	parResults, err := wivi.TrackMany(context.Background(), parDevices, trackDur,
 		wivi.TrackManyOptions{Workers: workers})
 	if err != nil {
-		return fmt.Errorf("TrackMany: %w", err)
+		return nil, fmt.Errorf("TrackMany: %w", err)
 	}
 	parElapsed := time.Since(parStart)
 
@@ -322,14 +391,18 @@ func runBatchMode(batch, workers int, seed int64, trackDur float64) error {
 	// bit-identical images whichever path computed them.
 	for i := range seqResults {
 		if !seqResults[i].Equal(parResults[i]) {
-			return fmt.Errorf("scene %d: parallel result differs from sequential", i)
+			return nil, fmt.Errorf("scene %d: parallel result differs from sequential", i)
 		}
 	}
 
 	seqRate := float64(batch) / seqElapsed.Seconds()
 	parRate := float64(batch) / parElapsed.Seconds()
-	fmt.Printf("  sequential: %8.2fs  (%.2f scenes/s)\n", seqElapsed.Seconds(), seqRate)
-	fmt.Printf("  parallel:   %8.2fs  (%.2f scenes/s)\n", parElapsed.Seconds(), parRate)
-	fmt.Printf("  speedup:    %.2fx; outputs identical across %d scenes\n", seqElapsed.Seconds()/parElapsed.Seconds(), batch)
-	return nil
+	rep.Identity = true
+	rep.ElapsedS = parElapsed.Seconds()
+	rep.ScenesPerSec = parRate
+	rep.SpeedupX = seqElapsed.Seconds() / parElapsed.Seconds()
+	fmt.Fprintf(out, "  sequential: %8.2fs  (%.2f scenes/s)\n", seqElapsed.Seconds(), seqRate)
+	fmt.Fprintf(out, "  parallel:   %8.2fs  (%.2f scenes/s)\n", parElapsed.Seconds(), parRate)
+	fmt.Fprintf(out, "  speedup:    %.2fx; outputs identical across %d scenes\n", rep.SpeedupX, batch)
+	return rep, nil
 }

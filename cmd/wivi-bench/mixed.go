@@ -11,6 +11,7 @@ package main
 import (
 	"context"
 	"fmt"
+	"io"
 	"sync"
 	"time"
 
@@ -47,8 +48,9 @@ type mixedSample struct {
 
 // runMixedMode submits perMode requests of each kind against one
 // explicit engine and aggregates per-mode figures.
-func runMixedMode(perMode, workers int, seed int64, trackDur float64) error {
-	fmt.Printf("mixed workload: %d track + %d gesture + %d stream requests, %d workers\n",
+func runMixedMode(out io.Writer, perMode, workers int, seed int64, trackDur float64) (*benchReport, error) {
+	rep := newBenchReport("mixed", workers, perMode, trackDur)
+	fmt.Fprintf(out, "mixed workload: %d track + %d gesture + %d stream requests, %d workers\n",
 		perMode, perMode, perMode, workers)
 
 	newWalkerDevice := func(s int64) (*wivi.Device, error) {
@@ -77,17 +79,17 @@ func runMixedMode(perMode, workers int, seed int64, trackDur float64) error {
 	for i := 0; i < perMode; i++ {
 		dev, err := newWalkerDevice(seed + int64(i))
 		if err != nil {
-			return err
+			return nil, err
 		}
 		if trackWant[i], err = dev.Track(trackDur); err != nil {
-			return fmt.Errorf("track baseline %d: %w", i, err)
+			return nil, fmt.Errorf("track baseline %d: %w", i, err)
 		}
 		sdev, err := newWalkerDevice(seed + 1000 + int64(i))
 		if err != nil {
-			return err
+			return nil, err
 		}
 		if streamWant[i], err = sdev.Track(trackDur); err != nil {
-			return fmt.Errorf("stream baseline %d: %w", i, err)
+			return nil, fmt.Errorf("stream baseline %d: %w", i, err)
 		}
 	}
 
@@ -136,15 +138,15 @@ func runMixedMode(perMode, workers int, seed int64, trackDur float64) error {
 		i := i
 		tdev, err := newWalkerDevice(seed + int64(i))
 		if err != nil {
-			return err
+			return nil, err
 		}
 		gdev, gdur, err := newGestureDevice()
 		if err != nil {
-			return err
+			return nil, err
 		}
 		sdev, err := newWalkerDevice(seed + 1000 + int64(i))
 		if err != nil {
-			return err
+			return nil, err
 		}
 		wg.Add(3)
 		go run(kindTrack, wivi.Request{Device: tdev, Duration: trackDur}, func(r *wivi.Result) error {
@@ -174,18 +176,25 @@ func runMixedMode(perMode, workers int, seed int64, trackDur float64) error {
 	var waitSum, latSum [numKinds]time.Duration
 	for s := range samples {
 		if s.err != nil {
-			return s.err
+			return nil, s.err
 		}
 		count[s.kind]++
 		waitSum[s.kind] += s.queueWait
 		latSum[s.kind] += s.latency
 	}
+	rep.PerMode = make(map[string]modeFigures, numKinds)
 	for k := mixedKind(0); k < numKinds; k++ {
 		if count[k] != perMode {
-			return fmt.Errorf("%v: %d of %d requests completed", k, count[k], perMode)
+			return nil, fmt.Errorf("%v: %d of %d requests completed", k, count[k], perMode)
 		}
 		n := time.Duration(count[k])
-		fmt.Printf("  %-8s %d requests, %6.2f req/s, queue wait %8.2fms mean, latency %8.2fms mean\n",
+		rep.PerMode[k.String()] = modeFigures{
+			Requests:        count[k],
+			RequestsPerSec:  float64(count[k]) / elapsed,
+			QueueWaitMeanMs: float64(waitSum[k]/n) / 1e6,
+			LatencyMeanMs:   float64(latSum[k]/n) / 1e6,
+		}
+		fmt.Fprintf(out, "  %-8s %d requests, %6.2f req/s, queue wait %8.2fms mean, latency %8.2fms mean\n",
 			k.String()+":", count[k], float64(count[k])/elapsed,
 			float64(waitSum[k]/n)/1e6, float64(latSum[k]/n)/1e6)
 	}
@@ -195,12 +204,19 @@ func runMixedMode(perMode, workers int, seed int64, trackDur float64) error {
 	for deadline := time.Now().Add(2 * time.Second); st.Completed != int64(3*perMode) && time.Now().Before(deadline); st = eng.Stats() {
 		time.Sleep(time.Millisecond)
 	}
-	fmt.Printf("  engine:  %d completed, %d failed, %d frames (%.1f frames/s), queued %d, in-flight %d\n",
+	fmt.Fprintf(out, "  engine:  %d completed, %d failed, %d frames (%.1f frames/s), queued %d, in-flight %d\n",
 		st.Completed, st.Failed, st.Frames, st.FramesPerSecond, st.Queued, st.InFlight)
-	fmt.Printf("  identity checks: %d track == baseline, %d stream == batch, %d messages == \"01\" in %.2fs\n",
+	fmt.Fprintf(out, "  latency: queue wait p50 %.2fms p95 %.2fms p99 %.2fms; end-to-end p50 %.2fms p95 %.2fms p99 %.2fms\n",
+		ms(st.QueueWait.P50), ms(st.QueueWait.P95), ms(st.QueueWait.P99),
+		ms(st.EndToEnd.P50), ms(st.EndToEnd.P95), ms(st.EndToEnd.P99))
+	fmt.Fprintf(out, "  identity checks: %d track == baseline, %d stream == batch, %d messages == \"01\" in %.2fs\n",
 		perMode, perMode, perMode, elapsed)
 	if st.Completed != int64(3*perMode) {
-		return fmt.Errorf("engine stats report %d completed, want %d", st.Completed, 3*perMode)
+		return nil, fmt.Errorf("engine stats report %d completed, want %d", st.Completed, 3*perMode)
 	}
-	return nil
+	rep.Identity = true
+	rep.ElapsedS = elapsed
+	rep.ScenesPerSec = float64(3*perMode) / elapsed
+	rep.Engine = snapshotEngine(st)
+	return rep, nil
 }

@@ -1,0 +1,142 @@
+package main
+
+// Machine-readable bench reports (-json). Every bench mode fills one
+// benchReport and, under -json, marshals it to stdout as a single JSON
+// object while the human-readable narration moves to stderr — so
+// `wivi-bench -stream -json > out.json` always yields parseable JSON
+// and CI can accumulate a perf trajectory across PRs (BENCH_*.json).
+//
+// Schema (stable; additions are backward-compatible, removals and
+// renames are breaking and require a schema bump):
+//
+//	schema           "wivi-bench/1"
+//	mode             "batch" | "stream" | "mixed" | "paced" | "eval"
+//	workers          worker-pool size the run used
+//	gomaxprocs       runtime.GOMAXPROCS(0) on the host
+//	scenes           scenes (or requests per kind, mixed mode)
+//	track_duration_s per-scene capture duration
+//	elapsed_s        full mode wall time
+//	scenes_per_s     primary throughput figure
+//	identity         batch/stream/parallel byte-identity checks passed
+//	ttff_ms          mean time-to-first-frame        (stream, paced)
+//	frame_lag_p50_ms / _p95_ms / _p99_ms             (stream, paced)
+//	window_ms        one analysis window             (stream, paced)
+//	real_time_factor capture span / compute time     (paced)
+//	speedup_x        parallel over sequential        (batch)
+//	per_mode         {track|gesture|stream: figures} (mixed)
+//	engine           engine Stats() snapshot         (mixed, paced)
+//	experiments, failures                            (eval)
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"wivi"
+	"wivi/internal/pipeline"
+)
+
+// benchSchema versions the JSON layout.
+const benchSchema = "wivi-bench/1"
+
+type benchReport struct {
+	Schema         string  `json:"schema"`
+	Mode           string  `json:"mode"`
+	Workers        int     `json:"workers"`
+	GOMAXPROCS     int     `json:"gomaxprocs"`
+	Scenes         int     `json:"scenes"`
+	TrackDurationS float64 `json:"track_duration_s,omitempty"`
+	ElapsedS       float64 `json:"elapsed_s"`
+	ScenesPerSec   float64 `json:"scenes_per_s,omitempty"`
+	Identity       bool    `json:"identity"`
+
+	TTFFMs        float64 `json:"ttff_ms,omitempty"`
+	FrameLagP50Ms float64 `json:"frame_lag_p50_ms,omitempty"`
+	FrameLagP95Ms float64 `json:"frame_lag_p95_ms,omitempty"`
+	FrameLagP99Ms float64 `json:"frame_lag_p99_ms,omitempty"`
+	WindowMs      float64 `json:"window_ms,omitempty"`
+
+	RealTimeFactor float64 `json:"real_time_factor,omitempty"`
+	SpeedupX       float64 `json:"speedup_x,omitempty"`
+
+	PerMode map[string]modeFigures `json:"per_mode,omitempty"`
+	Engine  *engineFigures         `json:"engine,omitempty"`
+
+	Experiments int `json:"experiments,omitempty"`
+	Failures    int `json:"failures"`
+}
+
+// modeFigures are the per-kind aggregates of the mixed mode.
+type modeFigures struct {
+	Requests        int     `json:"requests"`
+	RequestsPerSec  float64 `json:"requests_per_s"`
+	QueueWaitMeanMs float64 `json:"queue_wait_mean_ms"`
+	LatencyMeanMs   float64 `json:"latency_mean_ms"`
+}
+
+// engineFigures snapshots wivi.EngineStats for the report.
+type engineFigures struct {
+	Completed      int64   `json:"completed"`
+	Failed         int64   `json:"failed"`
+	Frames         int64   `json:"frames"`
+	FramesPerSec   float64 `json:"frames_per_s"`
+	QueueWaitP50Ms float64 `json:"queue_wait_p50_ms"`
+	QueueWaitP95Ms float64 `json:"queue_wait_p95_ms"`
+	QueueWaitP99Ms float64 `json:"queue_wait_p99_ms"`
+	FrameLagP50Ms  float64 `json:"frame_lag_p50_ms"`
+	FrameLagP95Ms  float64 `json:"frame_lag_p95_ms"`
+	FrameLagP99Ms  float64 `json:"frame_lag_p99_ms"`
+	EndToEndP50Ms  float64 `json:"end_to_end_p50_ms"`
+	EndToEndP95Ms  float64 `json:"end_to_end_p95_ms"`
+	EndToEndP99Ms  float64 `json:"end_to_end_p99_ms"`
+}
+
+func newBenchReport(mode string, workers, scenes int, trackDur float64) *benchReport {
+	return &benchReport{
+		Schema:         benchSchema,
+		Mode:           mode,
+		Workers:        workers,
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		Scenes:         scenes,
+		TrackDurationS: trackDur,
+	}
+}
+
+func snapshotEngine(st wivi.EngineStats) *engineFigures {
+	return &engineFigures{
+		Completed:      st.Completed,
+		Failed:         st.Failed,
+		Frames:         st.Frames,
+		FramesPerSec:   st.FramesPerSecond,
+		QueueWaitP50Ms: ms(st.QueueWait.P50),
+		QueueWaitP95Ms: ms(st.QueueWait.P95),
+		QueueWaitP99Ms: ms(st.QueueWait.P99),
+		FrameLagP50Ms:  ms(st.FrameLag.P50),
+		FrameLagP95Ms:  ms(st.FrameLag.P95),
+		FrameLagP99Ms:  ms(st.FrameLag.P99),
+		EndToEndP50Ms:  ms(st.EndToEnd.P50),
+		EndToEndP95Ms:  ms(st.EndToEnd.P95),
+		EndToEndP99Ms:  ms(st.EndToEnd.P99),
+	}
+}
+
+// emitJSON writes the report as one JSON object on stdout.
+func emitJSON(r *benchReport) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		return fmt.Errorf("encoding bench report: %w", err)
+	}
+	return nil
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// percentileMs returns the nearest-rank p-th percentile of samples, in
+// milliseconds; zero for an empty set. It delegates to the engine's own
+// estimator so the bench and Engine.Stats() report identical math.
+func percentileMs(samples []time.Duration, p int) float64 {
+	return ms(pipeline.Percentile(samples, p))
+}

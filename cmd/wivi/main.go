@@ -6,6 +6,8 @@
 //
 //	wivi -mode track -humans 2 -duration 8
 //	wivi -mode track -live -duration 8      # frames render as they arrive
+//	wivi -mode track -live -paced -duration 8  # real radio cadence: the
+//	                                           # heatmap accrues in real time
 //	wivi -mode gesture -bits 0110 -distance 5
 //	wivi -mode count -humans 3
 package main
@@ -16,6 +18,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"wivi"
 )
@@ -35,6 +38,7 @@ func main() {
 		width    = flag.Int("width", 72, "heatmap width")
 		height   = flag.Int("height", 21, "heatmap height")
 		live     = flag.Bool("live", false, "track mode: stream the capture, rendering each frame as it arrives")
+		paced    = flag.Bool("paced", false, "deliver samples at the radio's real cadence: a d-second capture takes d seconds of wall clock")
 	)
 	flag.Parse()
 
@@ -56,7 +60,7 @@ func main() {
 				log.Fatal(err)
 			}
 		}
-		dev, err := wivi.NewDevice(scene, wivi.DeviceOptions{})
+		dev, err := wivi.NewDevice(scene, wivi.DeviceOptions{Paced: *paced})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -130,8 +134,12 @@ func liveTrack(dev *wivi.Device, duration float64, width int) error {
 	}
 	fmt.Printf("streaming %d frames (time flows down; -90° left, +90° right = toward the device):\n\n", ts.TotalFrames())
 	fmt.Println(wivi.RenderFrameHeader(width))
+	var lagSum time.Duration
+	frames := 0
 	for fr := range ts.Frames() {
 		fmt.Println(wivi.RenderFrameLine(fr, width))
+		lagSum += fr.Lag
+		frames++
 	}
 	if err := ts.Err(); err != nil {
 		return err
@@ -140,7 +148,12 @@ func liveTrack(dev *wivi.Device, duration float64, width int) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("\nstreamed %d frames; spatial variance %.1f\n", res.NumFrames(), res.SpatialVariance())
+	meanLagMs := 0.0
+	if frames > 0 {
+		meanLagMs = float64(lagSum) / float64(frames) / 1e6
+	}
+	fmt.Printf("\nstreamed %d frames; spatial variance %.1f; mean frame lag %.1fms\n",
+		res.NumFrames(), res.SpatialVariance(), meanLagMs)
 	return nil
 }
 

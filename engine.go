@@ -63,10 +63,23 @@ func (m Mode) core() core.Mode {
 // requests that were still queued when the engine shut down.
 var ErrEngineClosed = errors.New("wivi: engine closed")
 
-// translateErr maps internal scheduler errors onto the public sentinel.
+// ErrDeadlineInfeasible is returned by Submit when the request carries
+// a Deadline the pool provably cannot meet: a paced device's capture
+// takes at least Request.Duration of wall clock (samples arrive at the
+// radio's cadence), and that floor plus the estimated queue wait
+// already exceeds the deadline. Rejecting at submission lets a loaded
+// service shed work that would be guaranteed late instead of burning a
+// worker on it.
+var ErrDeadlineInfeasible = errors.New("wivi: deadline infeasible under pacing")
+
+// translateErr maps internal scheduler errors onto the public
+// sentinels.
 func translateErr(err error) error {
 	if errors.Is(err, pipeline.ErrClosed) {
 		return ErrEngineClosed
+	}
+	if errors.Is(err, pipeline.ErrDeadlineInfeasible) {
+		return ErrDeadlineInfeasible
 	}
 	return err
 }
@@ -133,6 +146,28 @@ type EngineStats struct {
 	// imaging-throughput figure of merit.
 	Frames          int64
 	FramesPerSecond float64
+	// QueueWait distributes how long requests sat accepted but not yet
+	// picked up; EndToEnd distributes accept-to-completion latency;
+	// FrameLag distributes streamed frames' wall-clock lag (emit instant
+	// minus the arrival of the frame window's last sample — the
+	// real-time SLO dimension for paced devices). Percentiles are
+	// nearest-rank over the most recent sample window.
+	QueueWait, FrameLag, EndToEnd LatencyProfile
+}
+
+// LatencyProfile summarizes one wall-clock latency dimension of an
+// engine: lifetime observation count and nearest-rank percentiles over
+// the most recent samples.
+type LatencyProfile struct {
+	// Count is the lifetime number of observations.
+	Count int64
+	// P50, P95 and P99 are nearest-rank percentiles; zero when nothing
+	// has been recorded.
+	P50, P95, P99 time.Duration
+}
+
+func latencyProfile(s pipeline.LatencyStats) LatencyProfile {
+	return LatencyProfile{Count: s.Count, P50: s.P50, P95: s.P95, P99: s.P99}
 }
 
 // Stats snapshots the engine's counters. Batch requests settle their
@@ -150,6 +185,9 @@ func (e *Engine) Stats() EngineStats {
 		Failed:          s.Failed,
 		Frames:          s.Frames,
 		FramesPerSecond: s.FramesPerSecond,
+		QueueWait:       latencyProfile(s.QueueWait),
+		FrameLag:        latencyProfile(s.FrameLag),
+		EndToEnd:        latencyProfile(s.EndToEnd),
 	}
 }
 
@@ -173,6 +211,13 @@ type Request struct {
 	// Wait. Streaming requests occupy a worker from admission to final
 	// frame and are capped by EngineOptions.MaxStreams.
 	Stream bool
+	// Deadline bounds the request's acceptable end-to-end latency
+	// (accept to completion); zero means none. Submit fails with
+	// ErrDeadlineInfeasible when the engine provably cannot meet it —
+	// for a paced device (DeviceOptions.Paced) the capture's wall-clock
+	// span is floored at Duration, so any tighter deadline is rejected
+	// before the request consumes queue or worker capacity.
+	Deadline time.Duration
 }
 
 // Result is the outcome of one request.
@@ -217,6 +262,8 @@ func (e *Engine) Submit(ctx context.Context, req Request) (*Handle, error) {
 			Mode:         req.Mode.core(),
 			Duration:     req.Duration,
 			ChunkSamples: req.Device.streamChunk,
+			Deadline:     req.Deadline,
+			Paced:        req.Device.paced,
 		})
 		if err != nil {
 			return nil, translateErr(err)
@@ -227,6 +274,8 @@ func (e *Engine) Submit(ctx context.Context, req Request) (*Handle, error) {
 		Tracker:  req.Device.pipeline,
 		Mode:     req.Mode.core(),
 		Duration: req.Duration,
+		Deadline: req.Deadline,
+		Paced:    req.Device.paced,
 	})
 	if err != nil {
 		return nil, translateErr(err)

@@ -2,8 +2,10 @@ package wivi_test
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log"
+	"time"
 
 	"wivi"
 )
@@ -169,6 +171,56 @@ func ExampleRequest() {
 	}
 	fmt.Println(frames == res.Tracking.NumFrames())
 	// Output: true
+}
+
+// Example_pacedTracking shows the real-time paced API: a paced device
+// delivers samples at the radio's cadence (a 0.4 s capture takes 0.4 s
+// of wall clock), streamed frames carry honest wall-clock Lag values,
+// and a Deadline tighter than the capture's pacing floor is rejected
+// with the typed ErrDeadlineInfeasible before consuming any capacity.
+func Example_pacedTracking() {
+	scene := wivi.NewScene(wivi.SceneOptions{Seed: 42})
+	if err := scene.AddWalker(2); err != nil {
+		log.Fatal(err)
+	}
+	dev, err := wivi.NewDevice(scene, wivi.DeviceOptions{Paced: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	eng := wivi.NewEngine(wivi.EngineOptions{Workers: 2})
+	defer eng.Close()
+	ctx := context.Background()
+
+	// A 0.4 s paced capture can never finish in 0.1 s: typed rejection.
+	_, err = eng.Submit(ctx, wivi.Request{
+		Device: dev, Duration: 0.4, Stream: true, Deadline: 100 * time.Millisecond,
+	})
+	fmt.Println("infeasible deadline rejected:", errors.Is(err, wivi.ErrDeadlineInfeasible))
+
+	h, err := eng.Submit(ctx, wivi.Request{Device: dev, Duration: 0.4, Stream: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	stream, err := h.Stream(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	frames := 0
+	for fr := range stream.Frames() {
+		// Under pacing, fr.Lag is real wall-clock latency behind the
+		// radio; keeping its p95 under one stream.WindowDuration() is the
+		// chain's SLO (wivi-bench -paced enforces it).
+		_ = fr.Lag
+		frames++
+	}
+	if _, err := h.Wait(ctx); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("all frames streamed in real time:", frames == stream.TotalFrames())
+	// Output:
+	// infeasible deadline rejected: true
+	// all frames streamed in real time: true
 }
 
 // Example_gestureMessage shows the through-wall messaging workflow.

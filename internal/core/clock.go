@@ -1,0 +1,118 @@
+package core
+
+// Wall-clock abstraction for the pacing subsystem. The real system is
+// clock-bound: the USRP delivers samples at the radio's cadence whatever
+// the CPU does, so every latency figure that matters is measured against
+// wall time. The simulator, by contrast, synthesizes samples as fast as
+// the CPU allows. Clock is the seam between the two: the pacing wrapper
+// (PacedFrontEnd) and the per-frame lag accounting (Stream) take their
+// time from an injected Clock, so production runs against RealClock
+// while tests drive a FakeClock and assert exact cadence with zero
+// wall-time cost.
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Clock abstracts wall-clock time for pacing and latency accounting.
+// Implementations must be safe for concurrent use.
+type Clock interface {
+	// Now returns the current time on this clock.
+	Now() time.Time
+	// Sleep blocks until d has elapsed on this clock or ctx is done,
+	// returning ctx's error in the latter case. Non-positive d returns
+	// immediately (with ctx's error if it is already done).
+	Sleep(ctx context.Context, d time.Duration) error
+}
+
+type realClock struct{}
+
+func (realClock) Now() time.Time { return time.Now() }
+
+func (realClock) Sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// RealClock returns the process wall clock.
+func RealClock() Clock { return realClock{} }
+
+// FakeClock is a manually driven Clock for deterministic pacing tests.
+// Time only moves when the test calls Advance — or, with auto-advance
+// enabled, when a Sleep runs: the sleep then advances the clock by
+// exactly its own duration and returns, so a paced capture runs at full
+// CPU speed while every timestamp lands exactly on its due instant
+// (zero jitter by construction). Auto-advance is the right mode for
+// single-producer pacing tests; multi-party tests drive Advance
+// explicitly.
+type FakeClock struct {
+	auto bool
+
+	mu      sync.Mutex
+	now     time.Time
+	changed chan struct{} // closed and replaced on every Advance
+}
+
+// NewFakeClock starts a fake clock at start. With autoAdvance, every
+// Sleep advances the clock by its own duration instead of blocking.
+func NewFakeClock(start time.Time, autoAdvance bool) *FakeClock {
+	return &FakeClock{auto: autoAdvance, now: start, changed: make(chan struct{})}
+}
+
+// Now returns the fake clock's current time.
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance moves the clock forward by d and wakes every sleeper whose
+// deadline has passed.
+func (c *FakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	close(c.changed)
+	c.changed = make(chan struct{})
+	c.mu.Unlock()
+}
+
+// Sleep blocks until the fake clock has advanced past now+d, or returns
+// immediately after advancing the clock itself in auto-advance mode.
+func (c *FakeClock) Sleep(ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if d <= 0 {
+		return nil
+	}
+	c.mu.Lock()
+	if c.auto {
+		c.now = c.now.Add(d)
+		c.mu.Unlock()
+		return nil
+	}
+	target := c.now.Add(d)
+	for c.now.Before(target) {
+		changed := c.changed
+		c.mu.Unlock()
+		select {
+		case <-changed:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+		c.mu.Lock()
+	}
+	c.mu.Unlock()
+	return nil
+}

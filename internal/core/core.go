@@ -48,6 +48,13 @@ type FrontEnd interface {
 	NoiseFloor() float64
 }
 
+// ctxCapturer is an optional FrontEnd extension: a batch capture whose
+// completion wait honors a context. PacedFrontEnd implements it — its
+// captures take real wall-clock time, so the wait must be abortable.
+type ctxCapturer interface {
+	CaptureCtx(ctx context.Context, p []complex128, boostDB float64, startT float64, n int) ([][]complex128, error)
+}
+
 // Mode selects the device's operating mode (§3.2).
 type Mode int
 
@@ -116,6 +123,13 @@ type Config struct {
 	// tracking (TrackStreamCtx with StreamOptions.ChunkSamples == 0).
 	// Defaults to the ISAR hop: one potential new frame per chunk.
 	StreamChunk int
+	// Clock supplies wall-clock time for the per-frame lag accounting in
+	// streamed captures (frame emit instant vs. the arrival of its
+	// window's last sample). nil defaults to the front end's pacing clock
+	// when it is a PacedFrontEnd, else the real wall clock. The clock
+	// never affects the computed samples or images, only latency
+	// measurement and pacing.
+	Clock Clock
 }
 
 // DefaultConfig returns the paper-matched pipeline configuration for a
@@ -188,6 +202,13 @@ func New(fe FrontEnd, cfg Config) (*Device, error) {
 	if cfg.StreamChunk <= 0 {
 		cfg.StreamChunk = cfg.ISAR.Hop
 	}
+	if cfg.Clock == nil {
+		if paced, ok := fe.(*PacedFrontEnd); ok {
+			cfg.Clock = paced.Clock()
+		} else {
+			cfg.Clock = RealClock()
+		}
+	}
 	proc, err := isar.NewProcessor(cfg.ISAR)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
@@ -255,7 +276,16 @@ func (d *Device) CaptureTraceCtx(ctx context.Context, startT, duration float64) 
 	if n < 1 {
 		n = 1
 	}
-	perSub, err := d.fe.Capture(d.nullRes.P, d.cfg.Nulling.BoostDB, startT, n)
+	var perSub [][]complex128
+	var err error
+	if cc, ok := d.fe.(ctxCapturer); ok {
+		// A paced front end's capture spans real wall clock; thread the
+		// request context so cancellation interrupts the pacing wait
+		// instead of pinning the device mutex for the remaining span.
+		perSub, err = cc.CaptureCtx(ctx, d.nullRes.P, d.cfg.Nulling.BoostDB, startT, n)
+	} else {
+		perSub, err = d.fe.Capture(d.nullRes.P, d.cfg.Nulling.BoostDB, startT, n)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("core: capture: %w", err)
 	}

@@ -15,6 +15,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"wivi/internal/isar"
 	"wivi/internal/nulling"
@@ -106,9 +107,20 @@ type Stream struct {
 	sampleT     float64
 	totalFrames int
 	thetas      []float64
+	clock       Clock
+	windowDur   time.Duration
+
+	// arrival[i] is the clock instant frame i's window closed — when its
+	// last sample was delivered by the front end (its real arrival time
+	// under pacing, the synthesis time otherwise). Written by the capture
+	// goroutine strictly before frame i is scheduled and read by the
+	// collector strictly after frame i is emitted, so the frame channel's
+	// happens-before edge orders every access.
+	arrival []time.Time
 
 	mu     sync.Mutex
 	frames []isar.Frame
+	lags   []time.Duration // lags[i]: emit instant minus arrival[i]
 	cursor int
 	wait   chan struct{} // replaced and closed on every state change
 	done   bool
@@ -173,9 +185,12 @@ func (d *Device) ObserveStream(ctx context.Context, req TrackRequest) (*Stream, 
 		sampleT:     d.fe.SampleT(),
 		totalFrames: len(d.proc.FrameSpecs(n)),
 		thetas:      d.proc.Thetas(),
+		clock:       d.cfg.Clock,
+		windowDur:   sampleSpan(d.cfg.ISAR.Window, d.fe.SampleT()),
 		wait:        make(chan struct{}),
 		doneCh:      make(chan struct{}),
 	}
+	s.arrival = make([]time.Time, s.totalFrames)
 	streamer := d.proc.NewStreamer(isar.StreamConfig{Workers: d.cfg.FrameWorkers})
 
 	var (
@@ -206,6 +221,8 @@ func (d *Device) ObserveStream(ctx context.Context, req TrackRequest) (*Stream, 
 			perSub[k] = make([]complex128, 0, n)
 		}
 		combined = make([]complex128, 0, n)
+		closed := 0 // frames whose windows have closed (arrival recorded)
+		window, hop := d.cfg.ISAR.Window, d.cfg.ISAR.Hop
 		emit := func(sub [][]complex128) error {
 			if err := ctx.Err(); err != nil {
 				return err
@@ -218,6 +235,14 @@ func (d *Device) ObserveStream(ctx context.Context, req TrackRequest) (*Stream, 
 				return fmt.Errorf("core: combining subcarriers: %w", err)
 			}
 			combined = append(combined, ready...)
+			// Stamp the arrival of every window this chunk closed BEFORE
+			// scheduling the frames: Append may process a frame inline, and
+			// the collector reads arrival[i] as soon as frame i emerges.
+			now := s.clock.Now()
+			for closed < s.totalFrames && closed*hop+window <= len(combined) {
+				s.arrival[closed] = now
+				closed++
+			}
 			return streamer.Append(ctx, ready)
 		}
 		if err := streamCapture(d.fe, d.nullRes.P, d.cfg.Nulling.BoostDB, startT, n, chunk, emit); err != nil {
@@ -233,8 +258,13 @@ func (d *Device) ObserveStream(ctx context.Context, req TrackRequest) (*Stream, 
 	// capture) and finalizes the stream when the frame channel closes.
 	go func() {
 		for fr := range streamer.Frames() {
+			// Frame lag: the wall-clock cost of streaming — how long after
+			// its window's last sample arrived this frame emerged. The
+			// streamer emits in index order, so lags stays frame-aligned.
+			lag := s.clock.Now().Sub(s.arrival[fr.Spec.Index])
 			s.mu.Lock()
 			s.frames = append(s.frames, fr)
+			s.lags = append(s.lags, lag)
 			s.signalLocked()
 			s.mu.Unlock()
 		}
@@ -312,6 +342,34 @@ func (s *Stream) Emitted() int {
 
 // TotalFrames returns the number of frames the full capture will emit.
 func (s *Stream) TotalFrames() int { return s.totalFrames }
+
+// LagAt returns the wall-clock lag of emitted frame i: the time between
+// the arrival of its window's last sample at the front end and the
+// frame's emission from the imaging chain. Under a paced front end this
+// is the honest real-time latency figure; unpaced, arrival collapses to
+// synthesis time and the lag measures pure processing delay. Frames not
+// yet emitted report zero.
+func (s *Stream) LagAt(i int) time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if i < 0 || i >= len(s.lags) {
+		return 0
+	}
+	return s.lags[i]
+}
+
+// Lags returns a snapshot of the per-frame lags recorded so far, in
+// frame index order (see LagAt).
+func (s *Stream) Lags() []time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]time.Duration(nil), s.lags...)
+}
+
+// WindowDuration returns the wall-clock span of one analysis window —
+// the natural SLO unit for frame lag: a chain whose p95 lag stays below
+// one window is keeping up with the radio.
+func (s *Stream) WindowDuration() time.Duration { return s.windowDur }
 
 // Thetas returns the angle grid (degrees) the frame spectra are sampled
 // on.

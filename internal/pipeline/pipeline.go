@@ -87,6 +87,16 @@ type Request struct {
 	Mode core.Mode
 	// StartT and Duration delimit the capture in seconds.
 	StartT, Duration float64
+	// Deadline bounds the request's acceptable end-to-end latency
+	// (accept to completion); zero means none. Submit rejects the
+	// request with ErrDeadlineInfeasible when the pool provably cannot
+	// meet it — see Engine.admitDeadline for the model.
+	Deadline time.Duration
+	// Paced marks a request whose capture is delivered at the radio's
+	// real sample cadence (core.PacedFrontEnd): its wall-clock service
+	// time is floored at Duration whatever the CPU does, which is what
+	// makes deadline admission decidable.
+	Paced bool
 }
 
 // Result is the outcome of one request.
@@ -149,6 +159,13 @@ type job struct {
 // whose requests were still queued when the engine shut down.
 var ErrClosed = errors.New("pipeline: engine closed")
 
+// ErrDeadlineInfeasible is returned by Submit and SubmitStream when the
+// request carries a Deadline the pool provably cannot meet: a paced
+// capture's wall-clock floor (its Duration) plus the estimated queue
+// wait already exceeds it. Failing at submission beats accepting work
+// that is guaranteed late — the caller can shed load or resize the pool.
+var ErrDeadlineInfeasible = errors.New("pipeline: deadline infeasible under pacing")
+
 // Engine is a bounded worker pool executing tracking requests.
 type Engine struct {
 	cfg   Config
@@ -169,6 +186,15 @@ type Engine struct {
 	completed     atomic.Int64 // requests finished without error
 	failed        atomic.Int64 // requests finished with an error
 	frames        atomic.Int64 // image frames produced by finished requests
+
+	// Latency distributions behind Stats() (latency.go), plus an EWMA of
+	// batch service time (nanoseconds) feeding deadline admission.
+	// Streams are excluded from the EWMA: a paced stream's service time
+	// is clock-bound, not a measure of pool speed.
+	queueWaitHist latencyRecorder
+	frameLagHist  latencyRecorder
+	e2eHist       latencyRecorder
+	serviceEWMA   atomic.Int64
 
 	// mu guards closed; inflight counts Submits past the closed check,
 	// so Close can wait out every concurrent enqueue before it drains
@@ -222,6 +248,11 @@ type Stats struct {
 	// imaging-throughput figure of merit.
 	Frames          int64
 	FramesPerSecond float64
+	// QueueWait distributes the time requests sat accepted-but-unpicked;
+	// FrameLag distributes streamed frames' emit-vs-arrival lag (the
+	// real-time SLO dimension under pacing); EndToEnd distributes accept
+	// to completion. Percentiles cover the most recent sample window.
+	QueueWait, FrameLag, EndToEnd LatencyStats
 }
 
 // Stats returns a snapshot of the engine's counters. Batch counters are
@@ -243,7 +274,54 @@ func (e *Engine) Stats() Stats {
 	if elapsed := time.Since(e.start).Seconds(); elapsed > 0 {
 		s.FramesPerSecond = float64(s.Frames) / elapsed
 	}
+	s.QueueWait = e.queueWaitHist.snapshot()
+	s.FrameLag = e.frameLagHist.snapshot()
+	s.EndToEnd = e.e2eHist.snapshot()
 	return s
+}
+
+// noteService folds one batch service time into the EWMA (alpha = 1/8)
+// the deadline admission model uses as its per-request cost estimate.
+func (e *Engine) noteService(d time.Duration) {
+	for {
+		old := e.serviceEWMA.Load()
+		next := int64(d)
+		if old != 0 {
+			next = old + (int64(d)-old)/8
+		}
+		if e.serviceEWMA.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// admitDeadline decides whether a request's Deadline is feasible at
+// submission time. The model is deliberately conservative — it only
+// rejects what is provably late:
+//
+//   - a paced request's service time is floored at its capture Duration
+//     (samples arrive at SampleT cadence; no CPU makes them earlier);
+//   - queued work ahead costs at least queued/Workers times the observed
+//     mean batch service time (zero until the engine has history).
+//
+// floor + estimated queue wait > Deadline is a guaranteed miss, so the
+// submission fails fast with ErrDeadlineInfeasible instead of occupying
+// queue and worker capacity to produce a late answer.
+func (e *Engine) admitDeadline(deadline time.Duration, durationSec float64, paced bool) error {
+	if deadline <= 0 {
+		return nil
+	}
+	var floor time.Duration
+	if paced {
+		floor = time.Duration(durationSec * float64(time.Second))
+	}
+	if mean := e.serviceEWMA.Load(); mean > 0 {
+		floor += time.Duration(mean * int64(len(e.jobs)) / int64(e.cfg.Workers))
+	}
+	if floor > deadline {
+		return ErrDeadlineInfeasible
+	}
+	return nil
 }
 
 // finishJob records a batch result in the stats counters. Must run
@@ -290,8 +368,15 @@ func (e *Engine) worker() {
 			}
 			e.running.Add(1)
 			wait := time.Since(j.enq)
+			serviceStart := time.Now()
 			res := run(j.ctx, j.req)
+			service := time.Since(serviceStart)
 			res.QueueWait = wait
+			e.queueWaitHist.observe(wait)
+			e.e2eHist.observe(wait + service)
+			if res.Err == nil {
+				e.noteService(service)
+			}
 			j.h.res = res
 			e.finishJob(res)
 			e.running.Add(-1)
@@ -323,6 +408,9 @@ func run(ctx context.Context, req Request) Result {
 // request observes ctx again when a worker picks it up and during its
 // frame processing.
 func (e *Engine) Submit(ctx context.Context, req Request) (*Handle, error) {
+	if err := e.admitDeadline(req.Deadline, req.Duration, req.Paced); err != nil {
+		return nil, err
+	}
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()

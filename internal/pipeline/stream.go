@@ -42,6 +42,13 @@ type StreamRequest struct {
 	// ChunkSamples is the capture chunk granularity (0 = device default).
 	// Cancellation is honored at chunk boundaries.
 	ChunkSamples int
+	// Deadline bounds acceptable end-to-end latency; zero means none.
+	// SubmitStream rejects with ErrDeadlineInfeasible when it provably
+	// cannot be met (see Engine.admitDeadline).
+	Deadline time.Duration
+	// Paced marks a capture delivered at real sample cadence, flooring
+	// its wall-clock span at Duration.
+	Paced bool
 }
 
 // StreamHandle is the future for a submitted stream: the capture starts
@@ -83,6 +90,9 @@ func (h *StreamHandle) Stream(ctx context.Context) (*core.Stream, error) {
 func (e *Engine) SubmitStream(ctx context.Context, req StreamRequest) (*StreamHandle, error) {
 	if req.Tracker == nil {
 		return nil, errors.New("pipeline: nil stream tracker")
+	}
+	if err := e.admitDeadline(req.Deadline, req.Duration, req.Paced); err != nil {
+		return nil, err
 	}
 	e.mu.Lock()
 	if e.closed {
@@ -132,6 +142,7 @@ func (e *Engine) runStream(j job) {
 		ChunkSamples: j.stream.ChunkSamples,
 	})
 	j.sh.queueWait = time.Since(j.enq)
+	e.queueWaitHist.observe(j.sh.queueWait)
 	j.sh.stream, j.sh.err = st, err
 	close(j.sh.started)
 	if err != nil {
@@ -144,6 +155,10 @@ func (e *Engine) runStream(j job) {
 	// stream stats are eventually consistent, not synchronized with Done.
 	<-st.Done()
 	e.frames.Add(int64(st.Emitted()))
+	e.e2eHist.observe(time.Since(j.enq))
+	for _, lag := range st.Lags() {
+		e.frameLagHist.observe(lag)
+	}
 	if st.Err() != nil {
 		e.failed.Add(1)
 	} else {

@@ -47,6 +47,7 @@ import (
 	"iter"
 	"reflect"
 	"strings"
+	"time"
 
 	"wivi/internal/core"
 	"wivi/internal/detect"
@@ -200,6 +201,14 @@ type DeviceOptions struct {
 	// per chunk). The chunk size never affects the streamed image, only
 	// latency and cancellation granularity.
 	StreamChunkSamples int
+	// Paced delivers capture samples at the radio's real cadence (one
+	// sample per SampleT of wall clock, like the paper's USRP) instead
+	// of as fast as the simulator can synthesize them. A paced capture
+	// of duration d takes d seconds of wall clock; streamed frame Lag
+	// values then measure honest real-time latency. Pacing never changes
+	// the samples or images — only their delivery times — so every
+	// batch/stream identity guarantee still holds.
+	Paced bool
 }
 
 // Device is a Wi-Vi device observing one scene.
@@ -207,6 +216,7 @@ type Device struct {
 	pipeline    *core.Device
 	fe          *sim.Device
 	streamChunk int
+	paced       bool
 }
 
 // NewDevice places a device in front of the scene's wall.
@@ -225,15 +235,19 @@ func NewDevice(scene *Scene, opts DeviceOptions) (*Device, error) {
 	if err != nil {
 		return nil, err
 	}
-	cfg := core.DefaultConfig(fe)
+	var front core.FrontEnd = fe
+	if opts.Paced {
+		front = core.NewPacedFrontEnd(fe, nil)
+	}
+	cfg := core.DefaultConfig(front)
 	if opts.FrameWorkers > 0 {
 		cfg.FrameWorkers = opts.FrameWorkers
 	}
-	pipeline, err := core.New(fe, cfg)
+	pipeline, err := core.New(front, cfg)
 	if err != nil {
 		return nil, err
 	}
-	return &Device{pipeline: pipeline, fe: fe, streamChunk: opts.StreamChunkSamples}, nil
+	return &Device{pipeline: pipeline, fe: fe, streamChunk: opts.StreamChunkSamples, paced: opts.Paced}, nil
 }
 
 // NullingSummary reports the flash-elimination outcome (§4).
@@ -296,6 +310,12 @@ type StreamFrame struct {
 	// (normalized to min = 1). It is shared with the final image — treat
 	// it as read-only.
 	Power []float64
+	// Lag is the frame's wall-clock emission lag: how long after its
+	// window's last sample arrived at the front end the frame emerged
+	// from the imaging chain. On a paced device this is the honest
+	// real-time latency figure (samples arrive at the radio's cadence);
+	// unpaced, it measures pure processing delay.
+	Lag time.Duration
 }
 
 // TrackStream is an in-progress streaming capture: frames arrive in
@@ -338,7 +358,12 @@ func (ts *TrackStream) Next() (fr StreamFrame, ok bool) {
 	if !ok {
 		return StreamFrame{}, false
 	}
-	return StreamFrame{Index: inner.Spec.Index, Time: inner.Time, Power: inner.Power}, true
+	return StreamFrame{
+		Index: inner.Spec.Index,
+		Time:  inner.Time,
+		Power: inner.Power,
+		Lag:   ts.inner.LagAt(inner.Spec.Index),
+	}, true
 }
 
 // Frames iterates the remaining frames in index order, blocking as the
@@ -361,6 +386,11 @@ func (ts *TrackStream) Err() error { return ts.inner.Err() }
 
 // TotalFrames returns the number of frames the full capture will emit.
 func (ts *TrackStream) TotalFrames() int { return ts.inner.TotalFrames() }
+
+// WindowDuration returns the wall-clock span of one analysis window —
+// the natural service-level objective unit for frame Lag: a chain whose
+// p95 lag stays below one window is keeping up with the radio.
+func (ts *TrackStream) WindowDuration() time.Duration { return ts.inner.WindowDuration() }
 
 // Thetas returns the angle grid (degrees) the frame spectra are sampled
 // on: ascending over [-90, 90], positive toward the device.
