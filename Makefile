@@ -53,9 +53,13 @@ smoke:
 	go run ./cmd/wivi-bench -paced -batch 2 -trackdur 2
 
 # Engine benchmarks: sequential vs parallel batch tracking, streamed
-# frames/s, and the paced chain's per-frame lag (wall-clock bound).
+# frames/s, the paced chain's per-frame lag (wall-clock bound), and —
+# with -benchmem — allocs/op, the number the incremental kernel's
+# scratch pooling keeps near zero (BenchmarkProcessFrame compares the
+# from-scratch and incremental kernels head to head).
 bench:
-	go test -run '^$$' -bench 'BenchmarkTrack(Sequential|Parallel|Stream|Paced)' -benchtime 5x .
+	go test -run '^$$' -bench 'BenchmarkTrack(Sequential|Parallel|Stream|Paced)' -benchtime 5x -benchmem .
+	go test -run '^$$' -bench 'BenchmarkProcessFrame' -benchtime 20x -benchmem ./internal/isar
 
 # Machine-readable bench trajectory: every engine mode with -json
 # (schema "wivi-bench/1", see cmd/wivi-bench/report.go), merged into

@@ -229,8 +229,19 @@ func runExperiments(exps []eval.Experiment, opts eval.Options, workers int, emit
 // runStreamMode measures the streaming chain's latency profile against
 // the batch baseline on identical scenes: time-to-first-frame (the
 // batch path's first frame arrives only after the whole capture),
-// inter-frame latency, per-frame lag percentiles, and the byte-identity
-// check.
+// inter-frame latency, per-frame lag percentiles, frame throughput
+// (absolute and per core — the capacity figure that bounds concurrent
+// paced streams per node), whole-chain allocations per frame (with an
+// enforced gate guarding the incremental kernel's pooling), and the
+// byte-identity check.
+// streamAllocsPerFrameGate bounds whole-chain heap allocations per
+// streamed frame (ROADMAP item 2's "~zero per frame" bar, with margin
+// for per-scene setup amortized over short captures). Measured ~11
+// after the incremental kernel; the pre-incremental chain measured
+// ~140, so the gate must sit well below that to catch a full
+// regression. CI enforces the same bound on the emitted report via jq.
+const streamAllocsPerFrameGate = 64
+
 func runStreamMode(out io.Writer, batch int, seed int64, trackDur float64) (*benchReport, error) {
 	fmt.Fprintf(out, "streaming latency: %d scenes x %.1fs capture\n", batch, trackDur)
 	rep := newBenchReport("stream", 1, batch, trackDur)
@@ -244,7 +255,8 @@ func runStreamMode(out io.Writer, batch int, seed int64, trackDur float64) (*ben
 
 	var (
 		ttffSum, interSum, interMax, batchSum, streamSum float64
-		interN                                           int
+		interN, totalFrames                              int
+		totalMallocs                                     uint64
 		lags                                             []time.Duration
 	)
 	for i := 0; i < batch; i++ {
@@ -265,6 +277,12 @@ func runStreamMode(out io.Writer, batch int, seed int64, trackDur float64) (*ben
 		if err != nil {
 			return nil, err
 		}
+		// Whole-chain allocation accounting: the Mallocs delta across the
+		// streamed run counts every heap object the capture, combine,
+		// incremental kernel and frame assembly allocate. Nothing else
+		// runs concurrently in this mode, so the delta is the chain's.
+		var msBefore runtime.MemStats
+		runtime.ReadMemStats(&msBefore)
 		streamStart := time.Now()
 		ts, err := sdev.TrackStream(context.Background(), trackDur)
 		if err != nil {
@@ -295,6 +313,9 @@ func runStreamMode(out io.Writer, batch int, seed int64, trackDur float64) (*ben
 			return nil, fmt.Errorf("stream scene %d: %w", i, err)
 		}
 		streamElapsed := time.Since(streamStart).Seconds()
+		var msAfter runtime.MemStats
+		runtime.ReadMemStats(&msAfter)
+		totalMallocs += msAfter.Mallocs - msBefore.Mallocs
 
 		// The streamed image must be byte-identical to batch Track.
 		if !got.Equal(want) {
@@ -306,6 +327,7 @@ func runStreamMode(out io.Writer, batch int, seed int64, trackDur float64) (*ben
 		ttffSum += ttff
 		batchSum += batchElapsed
 		streamSum += streamElapsed
+		totalFrames += frames
 		fmt.Fprintf(out, "  scene %d: %3d frames, first frame %6.1fms (%4.1f%% of stream), stream %6.1fms, batch-to-first-output %6.1fms\n",
 			i, frames, ttff*1e3, 100*ttff/streamElapsed, streamElapsed*1e3, batchElapsed*1e3)
 	}
@@ -323,13 +345,30 @@ func runStreamMode(out io.Writer, batch int, seed int64, trackDur float64) (*ben
 	rep.FrameLagP50Ms = percentileMs(lags, 50)
 	rep.FrameLagP95Ms = percentileMs(lags, 95)
 	rep.FrameLagP99Ms = percentileMs(lags, 99)
+	rep.FramesPerSec = float64(totalFrames) / streamSum
+	rep.FramesPerSecPerCore = rep.FramesPerSec / float64(rep.GOMAXPROCS)
+	rep.AllocsPerFrame = float64(totalMallocs) / float64(totalFrames)
 	fmt.Fprintf(out, "  frame lag: p50 %.2fms  p95 %.2fms  p99 %.2fms over %d frames\n",
 		rep.FrameLagP50Ms, rep.FrameLagP95Ms, rep.FrameLagP99Ms, len(lags))
 	fmt.Fprintf(out, "  throughput: %.2f scenes/s streamed (%.2f batch); outputs identical across %d scenes\n",
 		n/streamSum, n/batchSum, batch)
+	fmt.Fprintf(out, "  frames: %.1f frames/s (%.2f per core over %d), %.1f allocs/frame whole-chain (gate %d)\n",
+		rep.FramesPerSec, rep.FramesPerSecPerCore, rep.GOMAXPROCS, rep.AllocsPerFrame, streamAllocsPerFrameGate)
 	if mean := ttffSum / n; mean > 0.5*streamSum/n {
 		return nil, fmt.Errorf("time-to-first-frame %.1fms is not small relative to the %.1fms capture — streaming latency regressed",
 			mean*1e3, streamSum/n*1e3)
+	}
+	// Allocation gate on the whole streamed chain. The steady-state
+	// kernel allocates ~7 objects per frame (the Frame's two output
+	// slices plus amortized per-stream fixed cost — see
+	// TestPacedStreamSteadyStateAllocs); whole-chain accounting here
+	// also amortizes per-scene setup (device trace, result assembly,
+	// first-scene pool warm-up) and measures ~11. The pre-incremental
+	// chain measured ~140 per frame, so the gate has margin on both
+	// sides.
+	if rep.AllocsPerFrame > streamAllocsPerFrameGate {
+		return nil, fmt.Errorf("streamed chain allocates %.1f objects/frame, gate is %d — the incremental kernel's pooling regressed",
+			rep.AllocsPerFrame, streamAllocsPerFrameGate)
 	}
 	return rep, nil
 }

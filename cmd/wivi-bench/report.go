@@ -21,6 +21,10 @@ package main
 //	ttff_ms          mean time-to-first-frame        (stream, paced)
 //	frame_lag_p50_ms / _p95_ms / _p99_ms             (stream, paced)
 //	window_ms        one analysis window             (stream, paced)
+//	frames_per_s     streamed frame throughput       (stream)
+//	frames_per_s_per_core   frames_per_s / gomaxprocs (stream)
+//	allocs_per_frame heap allocations per streamed frame, whole-chain
+//	                 (capture + combine + kernel + assembly) (stream)
 //	real_time_factor capture span / compute time     (paced)
 //	speedup_x        parallel over sequential        (batch)
 //	per_mode         {track|gesture|stream: figures} (mixed)
@@ -57,6 +61,10 @@ type benchReport struct {
 	FrameLagP95Ms float64 `json:"frame_lag_p95_ms,omitempty"`
 	FrameLagP99Ms float64 `json:"frame_lag_p99_ms,omitempty"`
 	WindowMs      float64 `json:"window_ms,omitempty"`
+
+	FramesPerSec        float64 `json:"frames_per_s,omitempty"`
+	FramesPerSecPerCore float64 `json:"frames_per_s_per_core,omitempty"`
+	AllocsPerFrame      float64 `json:"allocs_per_frame,omitempty"`
 
 	RealTimeFactor float64 `json:"real_time_factor,omitempty"`
 	SpeedupX       float64 `json:"speedup_x,omitempty"`

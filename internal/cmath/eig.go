@@ -2,9 +2,9 @@ package cmath
 
 import (
 	"errors"
+	"fmt"
 	"math"
 	"math/cmplx"
-	"sort"
 )
 
 // Eig holds the eigendecomposition of a Hermitian matrix: real eigenvalues
@@ -31,28 +31,73 @@ const (
 	jacobiTol       = 1e-12
 )
 
+// EigWorkspace holds the buffers HermitianEigInto reuses across calls:
+// the working copy of the input, the accumulated rotations, and the
+// sorted output. A workspace is bound to one matrix size and must not be
+// shared between concurrent calls.
+type EigWorkspace struct {
+	n    int
+	w    *Matrix // Jacobi working copy of the input
+	v    *Matrix // accumulated rotations (unsorted eigenvectors)
+	vecs *Matrix // sorted eigenvector columns (aliased by the result)
+	vals []float64
+	idx  []int
+	eig  Eig // the returned decomposition (aliases vecs and its Values)
+}
+
+// NewEigWorkspace returns a workspace for n x n decompositions.
+func NewEigWorkspace(n int) *EigWorkspace {
+	return &EigWorkspace{
+		n:    n,
+		w:    NewMatrix(n, n),
+		v:    NewMatrix(n, n),
+		vecs: NewMatrix(n, n),
+		vals: make([]float64, n),
+		idx:  make([]int, n),
+		eig:  Eig{Values: make([]float64, n)},
+	}
+}
+
 // HermitianEig computes the eigendecomposition of the Hermitian matrix a
 // using cyclic complex Jacobi rotations. The input is not modified.
 //
 // Eigenvalues are returned in descending order with matching eigenvector
 // columns; this is the order the MUSIC algorithm consumes (signal subspace
-// first, noise subspace last).
+// first, noise subspace last). It is HermitianEigInto with a fresh
+// workspace, so the two entry points share one kernel and produce
+// bit-identical decompositions.
 func HermitianEig(a *Matrix) (*Eig, error) {
+	return HermitianEigInto(a, NewEigWorkspace(a.Rows))
+}
+
+// HermitianEigInto is HermitianEig computing into ws: no allocation in
+// steady state. The returned Eig aliases the workspace and is valid only
+// until the next call with the same workspace. ws must match a's size.
+func HermitianEigInto(a *Matrix, ws *EigWorkspace) (*Eig, error) {
 	n := a.Rows
 	if a.Cols != n {
 		return nil, ErrNotHermitian
+	}
+	if ws.n != n {
+		return nil, fmt.Errorf("cmath: eig workspace for %dx%d used on %dx%d matrix", ws.n, ws.n, n, n)
 	}
 	// Hermitian check with a tolerance scaled by the matrix magnitude.
 	scale := a.FrobeniusNorm()
 	if scale == 0 {
 		// Zero matrix: all eigenvalues zero, identity eigenvectors.
-		return &Eig{Values: make([]float64, n), Vectors: Identity(n)}, nil
+		for i := range ws.eig.Values {
+			ws.eig.Values[i] = 0
+		}
+		setIdentity(ws.vecs)
+		ws.eig.Vectors = ws.vecs
+		return &ws.eig, nil
 	}
 	if !a.IsHermitian(1e-9 * scale) {
 		return nil, ErrNotHermitian
 	}
 
-	w := a.Clone()
+	w := ws.w
+	copy(w.Data, a.Data)
 	// Force exact Hermitian symmetry so rounding in the input cannot bias
 	// the rotations.
 	for i := 0; i < n; i++ {
@@ -63,7 +108,8 @@ func HermitianEig(a *Matrix) (*Eig, error) {
 			w.Set(j, i, cmplx.Conj(avg))
 		}
 	}
-	v := Identity(n)
+	v := ws.v
+	setIdentity(v)
 
 	tol := jacobiTol * scale
 	converged := false
@@ -82,26 +128,46 @@ func HermitianEig(a *Matrix) (*Eig, error) {
 		return nil, ErrNoConvergence
 	}
 
-	vals := make([]float64, n)
+	vals := ws.vals
 	for i := 0; i < n; i++ {
 		vals[i] = real(w.At(i, i))
 	}
-	// Sort descending, permuting eigenvector columns alongside.
-	idx := make([]int, n)
+	// Sort descending, permuting eigenvector columns alongside. Insertion
+	// sort: n is small (the subarray size), the kernel must not allocate,
+	// and ties break deterministically (stable on original column order).
+	idx := ws.idx
 	for i := range idx {
 		idx[i] = i
 	}
-	sort.Slice(idx, func(i, j int) bool { return vals[idx[i]] > vals[idx[j]] })
+	for i := 1; i < n; i++ {
+		j, key := i, idx[i]
+		for j > 0 && vals[idx[j-1]] < vals[key] {
+			idx[j] = idx[j-1]
+			j--
+		}
+		idx[j] = key
+	}
 
-	sortedVals := make([]float64, n)
-	sortedVecs := NewMatrix(n, n)
+	sortedVals := ws.eig.Values
+	sortedVecs := ws.vecs
 	for newCol, oldCol := range idx {
 		sortedVals[newCol] = vals[oldCol]
 		for r := 0; r < n; r++ {
 			sortedVecs.Set(r, newCol, v.At(r, oldCol))
 		}
 	}
-	return &Eig{Values: sortedVals, Vectors: sortedVecs}, nil
+	ws.eig.Vectors = sortedVecs
+	return &ws.eig, nil
+}
+
+// setIdentity overwrites the square matrix m with the identity.
+func setIdentity(m *Matrix) {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+	for i := 0; i < m.Rows; i++ {
+		m.Set(i, i, 1)
+	}
 }
 
 // jacobiRotate applies one two-sided unitary Jacobi rotation zeroing the
@@ -181,9 +247,23 @@ func (e *Eig) EigenvectorColumns(k int) []Vector {
 // of range.
 func (e *Eig) NoiseSubspace(signalDim int) []Vector {
 	n := len(e.Values)
-	out := make([]Vector, 0, n-signalDim)
+	k := n - signalDim
+	return e.NoiseSubspaceInto(signalDim, make([]Vector, 0, k), make(Vector, n*k))
+}
+
+// NoiseSubspaceInto is NoiseSubspace copying the basis vectors into buf
+// (length >= n*(n-signalDim)) and appending them to dst[:0]: no
+// allocation when the caller's buffers are large enough. The returned
+// vectors alias buf and are valid until its next reuse.
+func (e *Eig) NoiseSubspaceInto(signalDim int, dst []Vector, buf Vector) []Vector {
+	n := len(e.Values)
+	dst = dst[:0]
 	for j := signalDim; j < n; j++ {
-		out = append(out, e.Vectors.Col(j))
+		col := buf[(j-signalDim)*n : (j-signalDim+1)*n]
+		for r := 0; r < n; r++ {
+			col[r] = e.Vectors.At(r, j)
+		}
+		dst = append(dst, col)
 	}
-	return out
+	return dst
 }

@@ -98,19 +98,24 @@ func (m *Matrix) Mul(b *Matrix) *Matrix {
 // MulVec returns the matrix-vector product m * v as a new vector.
 // It panics on dimension mismatch.
 func (m *Matrix) MulVec(v Vector) Vector {
-	if m.Cols != len(v) {
-		panic(fmt.Sprintf("cmath: MulVec dims %dx%d * %d", m.Rows, m.Cols, len(v)))
+	return m.MulVecInto(make(Vector, m.Rows), v)
+}
+
+// MulVecInto computes m * v into dst and returns dst: MulVec without the
+// allocation. It panics on dimension mismatch.
+func (m *Matrix) MulVecInto(dst, v Vector) Vector {
+	if m.Cols != len(v) || len(dst) != m.Rows {
+		panic(fmt.Sprintf("cmath: MulVecInto dims %d <- %dx%d * %d", len(dst), m.Rows, m.Cols, len(v)))
 	}
-	out := make(Vector, m.Rows)
 	for i := 0; i < m.Rows; i++ {
 		var s complex128
 		row := m.Data[i*m.Cols : (i+1)*m.Cols]
 		for j, a := range row {
 			s += a * v[j]
 		}
-		out[i] = s
+		dst[i] = s
 	}
-	return out
+	return dst
 }
 
 // AddOuter accumulates the rank-1 update m += v * conj(w)^T in place.
@@ -127,6 +132,25 @@ func (m *Matrix) AddOuter(v, w Vector) {
 		row := m.Data[i*m.Cols : (i+1)*m.Cols]
 		for j := range row {
 			row[j] += vi * cmplx.Conj(w[j])
+		}
+	}
+}
+
+// SubOuter removes the rank-1 update m -= v * conj(w)^T in place — the
+// inverse of AddOuter, used by the sliding-window covariance to retire
+// departed subarrays. It panics on dimension mismatch.
+func (m *Matrix) SubOuter(v, w Vector) {
+	if m.Rows != len(v) || m.Cols != len(w) {
+		panic(fmt.Sprintf("cmath: SubOuter dims %dx%d -= %d x %d", m.Rows, m.Cols, len(v), len(w)))
+	}
+	for i := 0; i < m.Rows; i++ {
+		vi := v[i]
+		if vi == 0 {
+			continue
+		}
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j := range row {
+			row[j] -= vi * cmplx.Conj(w[j])
 		}
 	}
 }

@@ -36,6 +36,10 @@ type StreamFrontEnd interface {
 	// emit as they are recorded. An emit error aborts the capture and is
 	// returned — the cancellation path. The concatenated chunks must be
 	// bit-identical to Capture(p, boostDB, startT, total).
+	//
+	// A chunk is valid only until emit returns: implementations may reuse
+	// the chunk buffers for the next chunk (internal/sim does), so emit
+	// must copy whatever it needs to retain.
 	StreamCapture(p []complex128, boostDB float64, startT float64, total, chunk int, emit func([][]complex128) error) error
 }
 
@@ -230,11 +234,16 @@ func (d *Device) ObserveStream(ctx context.Context, req TrackRequest) (*Stream, 
 			for k := range perSub {
 				perSub[k] = append(perSub[k], sub[k]...)
 			}
-			ready, err := ofdm.AverageSubcarriers(sub)
+			// Combine straight into the capture-length buffer: ready is the
+			// chunk's view of it, owned by this stream (the front end may
+			// reuse sub's buffers after emit returns).
+			old := len(combined)
+			var err error
+			combined, err = ofdm.AverageSubcarriersAppend(combined, sub)
 			if err != nil {
 				return fmt.Errorf("core: combining subcarriers: %w", err)
 			}
-			combined = append(combined, ready...)
+			ready := combined[old:]
 			// Stamp the arrival of every window this chunk closed BEFORE
 			// scheduling the frames: Append may process a frame inline, and
 			// the collector reads arrival[i] as soon as frame i emerges.

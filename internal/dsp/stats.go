@@ -37,14 +37,28 @@ func StdDev(x []float64) float64 { return math.Sqrt(Variance(x)) }
 // Median returns the median of x (0 for empty input). x is not modified.
 func Median(x []float64) float64 { return Percentile(x, 50) }
 
+// MedianBuf is Median sorting a copy of x inside buf (cap >= len(x)):
+// no allocation when the caller reuses the buffer. It returns the same
+// value as Median for every input.
+func MedianBuf(x, buf []float64) float64 {
+	return PercentileBuf(x, 50, buf)
+}
+
 // Percentile returns the p-th percentile (0-100) of x using linear
 // interpolation between closest ranks. x is not modified. Empty input
 // returns 0.
 func Percentile(x []float64, p float64) float64 {
+	return PercentileBuf(x, p, make([]float64, len(x)))
+}
+
+// PercentileBuf is Percentile with the sort scratch provided by the
+// caller (cap >= len(x)) — the shared kernel behind Percentile and
+// MedianBuf, so buffered and unbuffered calls agree bit for bit.
+func PercentileBuf(x []float64, p float64, buf []float64) float64 {
 	if len(x) == 0 {
 		return 0
 	}
-	sorted := make([]float64, len(x))
+	sorted := buf[:len(x)]
 	copy(sorted, x)
 	sort.Float64s(sorted)
 	if p <= 0 {

@@ -137,26 +137,68 @@ func (p *Processor) AssembleImage(frames []Frame) *Image {
 	return img
 }
 
-// computeFrames runs ProcessFrame over every spec, fanning out over up
-// to `workers` goroutines. Results land in their spec's index slot, so
-// the frame order — and therefore the assembled image — is deterministic
-// for any worker count. The first error (or a context cancellation)
-// stops the remaining work.
+// computeFrames runs the per-frame stage over every spec, fanning out
+// over up to `workers` goroutines. The smoothed covariance is computed
+// first, serially in frame-index order by a covTracker — the sliding sum
+// is inherently sequential, and running it on the calling goroutine in
+// the same order the Streamer dispatches is what keeps stream and batch
+// byte-identical by construction. Only the independent eig + spectra
+// stage fans out; results land in their spec's index slot, so the frame
+// order — and therefore the assembled image — is deterministic for any
+// worker count. The first error (or a context cancellation) stops the
+// remaining work.
 func (p *Processor) computeFrames(ctx context.Context, h []complex128, specs []FrameSpec, music bool, workers int) ([]Frame, error) {
 	frames := make([]Frame, len(specs))
+	if len(specs) == 0 {
+		return frames, nil
+	}
+	win := p.cfg.Window
+
+	covs := make([]*cmath.Matrix, len(specs))
+	defer func() {
+		for _, c := range covs {
+			if c != nil {
+				p.putCov(c)
+			}
+		}
+	}()
+	ct := newCovTracker(p)
+	for _, spec := range specs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if spec.Start < 0 || spec.Start+win > len(h) {
+			return nil, fmt.Errorf("isar: frame window [%d, %d) outside capture of %d samples",
+				spec.Start, spec.Start+win, len(h))
+		}
+		cov := p.getCov()
+		ct.advanceInto(cov, h[spec.Start:spec.Start+win], spec.Index)
+		covs[spec.Index] = cov
+	}
+
+	runSpec := func(i int, sc *frameScratch) error {
+		spec := specs[i]
+		fr, err := p.processFrameCov(covs[spec.Index], h[spec.Start:spec.Start+win], spec, music, sc)
+		if err != nil {
+			return err
+		}
+		frames[spec.Index] = fr
+		return nil
+	}
+
 	if workers > len(specs) {
 		workers = len(specs)
 	}
 	if workers <= 1 {
-		for _, spec := range specs {
+		sc := p.getScratch()
+		defer p.putScratch(sc)
+		for i := range specs {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			fr, err := p.ProcessFrame(h, spec, music)
-			if err != nil {
+			if err := runSpec(i, sc); err != nil {
 				return nil, err
 			}
-			frames[spec.Index] = fr
 		}
 		return frames, nil
 	}
@@ -164,7 +206,8 @@ func (p *Processor) computeFrames(ctx context.Context, h []complex128, specs []F
 	// Fan-out: workers pull spec indices from a shared cursor; fan-in is
 	// positional, so scheduling never reorders frames. The calling
 	// goroutine always works; extra workers spawn only up to the global
-	// frameTokens budget.
+	// frameTokens budget. Each worker checks out one scratch for its
+	// whole run.
 	var (
 		wg       sync.WaitGroup
 		next     int
@@ -186,6 +229,8 @@ func (p *Processor) computeFrames(ctx context.Context, h []complex128, specs []F
 		return i
 	}
 	work := func() {
+		sc := p.getScratch()
+		defer p.putScratch(sc)
 		for {
 			if stop.Err() != nil {
 				return
@@ -194,12 +239,10 @@ func (p *Processor) computeFrames(ctx context.Context, h []complex128, specs []F
 			if i >= len(specs) {
 				return
 			}
-			fr, err := p.ProcessFrame(h, specs[i], music)
-			if err != nil {
+			if err := runSpec(i, sc); err != nil {
 				fail(err)
 				return
 			}
-			frames[specs[i].Index] = fr
 		}
 	}
 	for w := 1; w < workers; w++ {

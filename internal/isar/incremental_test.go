@@ -1,0 +1,418 @@
+package isar
+
+import (
+	"context"
+	"math"
+	"math/cmplx"
+	"sync"
+	"testing"
+
+	"wivi/internal/cmath"
+)
+
+// TestIncrementalCovarianceMatchesReference is the tentpole equivalence
+// bound: the sliding-sum covariance must stay within 1e-12 relative of
+// the from-scratch SmoothedCorrelation on every frame, and be
+// bit-identical on refresh frames (index 0 and every covRefreshEvery-th),
+// where the tracker rebuilds with the reference's accumulation order.
+func TestIncrementalCovarianceMatchesReference(t *testing.T) {
+	cfg := goldenConfig()
+	p, err := NewProcessor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := goldenChannel(cfg, cfg.Window+60*cfg.Hop) // ~3.8 refresh periods
+	specs := p.FrameSpecs(len(h))
+	if len(specs) < 2*covRefreshEvery {
+		t.Fatalf("only %d frames; test needs to cross refresh boundaries", len(specs))
+	}
+	ct := newCovTracker(p)
+	got := cmath.NewMatrix(cfg.Subarray, cfg.Subarray)
+	for _, spec := range specs {
+		window := h[spec.Start : spec.Start+cfg.Window]
+		ct.advanceInto(got, window, spec.Index)
+		want, err := p.SmoothedCorrelation(window)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scale := want.FrobeniusNorm()
+		refresh := spec.Index%covRefreshEvery == 0
+		for i := range want.Data {
+			diff := cmplx.Abs(got.Data[i] - want.Data[i])
+			if refresh && diff != 0 {
+				t.Fatalf("frame %d (refresh): element %d differs by %g, want bit-identical",
+					spec.Index, i, diff)
+			}
+			if diff > 1e-12*scale {
+				t.Fatalf("frame %d: element %d relative error %g > 1e-12",
+					spec.Index, i, diff/scale)
+			}
+		}
+	}
+}
+
+// TestProcessFrameCovMatchesReference pins the scratch-reusing per-frame
+// kernel to the retained from-scratch reference: fed the covariance
+// SmoothedCorrelation produces, processFrameCov must reproduce
+// ProcessFrame bit for bit — the incremental covariance is the only
+// place the two chains are allowed to differ.
+func TestProcessFrameCovMatchesReference(t *testing.T) {
+	cfg := goldenConfig()
+	p, err := NewProcessor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := goldenChannel(cfg, 400)
+	sc := p.newFrameScratch()
+	for _, music := range []bool{true, false} {
+		for _, spec := range p.FrameSpecs(len(h)) {
+			want, err := p.ProcessFrame(h, spec, music)
+			if err != nil {
+				t.Fatal(err)
+			}
+			window := h[spec.Start : spec.Start+cfg.Window]
+			cov, err := p.SmoothedCorrelation(window)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := p.processFrameCov(cov, window, spec, music, sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Time != want.Time || got.MotionPower != want.MotionPower ||
+				got.SignalDim != want.SignalDim {
+				t.Fatalf("music=%v frame %d: metadata differs: got %+v want %+v",
+					music, spec.Index, got, want)
+			}
+			for i := range want.Power {
+				if got.Power[i] != want.Power[i] {
+					t.Fatalf("music=%v frame %d: Power[%d] = %g, want %g",
+						music, spec.Index, i, got.Power[i], want.Power[i])
+				}
+			}
+			for i := range want.Bartlett {
+				if got.Bartlett[i] != want.Bartlett[i] {
+					t.Fatalf("music=%v frame %d: Bartlett[%d] = %g, want %g",
+						music, spec.Index, i, got.Bartlett[i], want.Bartlett[i])
+				}
+			}
+		}
+	}
+}
+
+// TestImageCloseToFromScratchChain bounds the end-to-end drift the
+// incremental covariance introduces: the full image must track a chain
+// built purely from ProcessFrame within a tolerance far tighter than the
+// golden fixture's (the eigendecomposition may amplify the 1e-12
+// covariance drift, but not by six orders of magnitude on a
+// well-conditioned scene).
+func TestImageCloseToFromScratchChain(t *testing.T) {
+	cfg := goldenConfig()
+	p, err := NewProcessor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := goldenChannel(cfg, 512)
+	got, err := p.ComputeImage(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := p.FrameSpecs(len(h))
+	for _, spec := range specs {
+		want, err := p.ProcessFrame(h, spec, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want.Power {
+			rel := math.Abs(got.Power[spec.Index][i]-want.Power[i]) /
+				math.Max(math.Abs(want.Power[i]), 1)
+			if rel > 1e-9 {
+				t.Fatalf("frame %d Power[%d]: relative drift %g > 1e-9", spec.Index, i, rel)
+			}
+		}
+		for i := range want.Bartlett {
+			rel := math.Abs(got.Bartlett[spec.Index][i]-want.Bartlett[i]) /
+				math.Max(math.Abs(want.Bartlett[i]), 1e-300)
+			if rel > 1e-9 {
+				t.Fatalf("frame %d Bartlett[%d]: relative drift %g > 1e-9", spec.Index, i, rel)
+			}
+		}
+	}
+}
+
+// TestStreamerBoundedBuffer is the unbounded-growth regression test: a
+// long synthetic stream must retain O(Window + chunk) samples, never the
+// capture history. Before the fix, Retained() grew linearly with the
+// stream (internal/isar/stream.go kept every appended sample).
+func TestStreamerBoundedBuffer(t *testing.T) {
+	cfg := goldenConfig()
+	p, err := NewProcessor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 50000
+	chunk := cfg.Hop + 3 // deliberately misaligned with the hop
+	h := goldenChannel(cfg, total)
+	s := p.NewStreamer(StreamConfig{Workers: 2})
+	drained := make(chan int)
+	go func() {
+		n := 0
+		for range s.Frames() {
+			n++
+		}
+		drained <- n
+	}()
+	bound := cfg.Window + chunk
+	for off := 0; off < total; off += chunk {
+		end := off + chunk
+		if end > total {
+			end = total
+		}
+		if err := s.Append(context.Background(), h[off:end]); err != nil {
+			t.Fatal(err)
+		}
+		if r := s.Retained(); r > bound {
+			t.Fatalf("after %d samples: retained %d > bound %d (Window+chunk)", end, r, bound)
+		}
+	}
+	s.CloseInput()
+	frames := <-drained
+	if want := len(p.FrameSpecs(total)); frames != want {
+		t.Fatalf("trimmed stream emitted %d frames, want %d", frames, want)
+	}
+	if err := s.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScheduledConcurrent exercises the Scheduled data race fixed in
+// this revision: a monitor goroutine polls Scheduled while the producer
+// appends. Run under -race this fails on the old unsynchronized read of
+// s.next; it also checks monotonicity of the observed counts.
+func TestScheduledConcurrent(t *testing.T) {
+	cfg := goldenConfig()
+	p, err := NewProcessor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := goldenChannel(cfg, 2048)
+	s := p.NewStreamer(StreamConfig{Workers: 2})
+	go func() {
+		for range s.Frames() {
+		}
+	}()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		last := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			n := s.Scheduled()
+			if n < last {
+				t.Errorf("Scheduled went backwards: %d after %d", n, last)
+				return
+			}
+			last = n
+		}
+	}()
+	for off := 0; off < len(h); off += cfg.Hop {
+		end := off + cfg.Hop
+		if end > len(h) {
+			end = len(h)
+		}
+		if err := s.Append(context.Background(), h[off:end]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	s.CloseInput()
+	if want := len(p.FrameSpecs(len(h))); s.Scheduled() != want {
+		t.Fatalf("scheduled %d frames, want %d", s.Scheduled(), want)
+	}
+}
+
+// TestStreamerSteadyStateAllocs gates the allocation-free hot path: once
+// the pools are warm, appending one hop of samples (= one frame,
+// processed inline) allocates only the emitted Frame's Power and
+// Bartlett slices plus channel/collector noise — single digits, versus
+// ~340 per frame before the incremental kernel.
+func TestStreamerSteadyStateAllocs(t *testing.T) {
+	cfg := goldenConfig()
+	p, err := NewProcessor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const warmFrames = 64
+	h := goldenChannel(cfg, cfg.Window+10000*cfg.Hop)
+	s := p.NewStreamer(StreamConfig{}) // inline: allocs attribute deterministically
+	frames := make(chan Frame, 4)
+	go func() {
+		for fr := range s.Frames() {
+			frames <- fr
+		}
+		close(frames)
+	}()
+	off := 0
+	// feed appends exactly one hop — which closes exactly one window once
+	// primed — and consumes the one frame it emits, keeping the pipeline
+	// in lockstep.
+	feed := func(n, emitted int) {
+		if err := s.Append(context.Background(), h[off:off+n]); err != nil {
+			t.Fatal(err)
+		}
+		off += n
+		for i := 0; i < emitted; i++ {
+			<-frames
+		}
+	}
+	// Warm pools, channels and the reorder map one frame at a time.
+	feed(cfg.Window, 1)
+	for i := 0; i < warmFrames; i++ {
+		feed(cfg.Hop, 1)
+	}
+	avg := testing.AllocsPerRun(200, func() { feed(cfg.Hop, 1) })
+	s.CloseInput()
+	for range frames {
+	}
+	if err := s.Err(); err != nil {
+		t.Fatal(err)
+	}
+	// 2 irreducible (Power, Bartlett) + slack for channel-send and map
+	// internals. The pre-incremental chain measured ~340 allocs/frame.
+	if avg > 8 {
+		t.Fatalf("steady-state stream allocates %.1f per frame, want <= 8", avg)
+	}
+}
+
+// TestEstimateSignalDimClampOrder pins the clamp ordering fix: the >= 1
+// floor must be applied after the MaxSources and n-2 caps, so degenerate
+// geometries yield 1 (the DC) rather than 0 and a full-space
+// NoiseSubspace(0).
+func TestEstimateSignalDimClampOrder(t *testing.T) {
+	p, err := NewProcessor(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name   string
+		values []float64
+		want   int
+	}{
+		// Two eigenvalues: the n-2 cap is 0, the floor must win with 1.
+		// Before the fix the floor ran first and this returned 0.
+		{"two-values-all-signal", []float64{100, 90}, 1},
+		{"two-values-quiet", []float64{1, 1}, 1},
+		// Three eigenvalues, two strong: n-2 caps to 1.
+		{"three-values-two-signal", []float64{1000, 900, 1}, 1},
+		// All-noise window: nothing above the factor, floored to 1.
+		{"all-noise", []float64{1, 1, 1, 1, 1, 1}, 1},
+		// Healthy case: strong signals up to MaxSources.
+		{"two-movers", []float64{5000, 900, 1, 1, 1, 1, 1, 1, 1}, 2},
+	}
+	for _, tc := range cases {
+		if got := p.EstimateSignalDim(tc.values); got != tc.want {
+			t.Errorf("%s: EstimateSignalDim = %d, want %d", tc.name, got, tc.want)
+		}
+		if got := p.EstimateSignalDim(tc.values); got < 1 {
+			t.Errorf("%s: signal dimension %d < 1 leaves no DC dimension", tc.name, got)
+		}
+	}
+}
+
+// TestValidateRejectsNoNoiseSubspace: Subarray 2 leaves no noise
+// subspace for MUSIC (dim floor 1, n-2 cap 0), so Validate must reject
+// it outright instead of letting EstimateSignalDim degenerate.
+func TestValidateRejectsNoNoiseSubspace(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Window = 8
+	cfg.Subarray = 2
+	cfg.MaxSources = 1
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("Validate accepted Subarray=2 (no noise subspace)")
+	}
+	cfg.Subarray = 3
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("Validate rejected Subarray=3: %v", err)
+	}
+}
+
+// TestNormalizeMin1Contract: the documented contract is min = 1 on every
+// output. Exact zeros are clamped up to the smallest positive entry
+// before scaling; an all-zero spectrum normalizes to all ones.
+func TestNormalizeMin1Contract(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []float64
+	}{
+		{"plain", []float64{4, 2, 8}},
+		{"with-exact-zero", []float64{4, 0, 8}},
+		{"all-zero", []float64{0, 0, 0}},
+		{"single-zero", []float64{0}},
+		{"tiny-positive", []float64{1e-300, 2e-300}},
+	}
+	for _, tc := range cases {
+		x := append([]float64(nil), tc.in...)
+		normalizeMin1(x)
+		min := math.Inf(1)
+		for _, v := range x {
+			if v < min {
+				min = v
+			}
+		}
+		if min != 1 {
+			t.Errorf("%s: min after normalizeMin1 = %g, want exactly 1 (out %v)", tc.name, min, x)
+		}
+	}
+	// Clamp-then-normalize semantics: the exact zero is clamped up to the
+	// smallest positive entry (4) before scaling, so it lands at exactly
+	// 1 and the positive entries keep their ratios.
+	x := []float64{4, 0, 8}
+	normalizeMin1(x)
+	if x[0] != 1 || x[1] != 1 || x[2] != 2 {
+		t.Errorf("normalizeMin1([4 0 8]) = %v, want [1 1 2]", x)
+	}
+}
+
+// BenchmarkProcessFrame compares the retained from-scratch reference
+// with the incremental + pooled-scratch kernel on the same frame
+// sequence (run with -benchmem: the reference allocates per frame, the
+// incremental path only the emitted spectra).
+func BenchmarkProcessFrame(b *testing.B) {
+	cfg := DefaultConfig()
+	p, err := NewProcessor(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := goldenChannel(cfg, cfg.Window+1024*cfg.Hop)
+	specs := p.FrameSpecs(len(h))
+
+	b.Run("from-scratch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := p.ProcessFrame(h, specs[i%len(specs)], true); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("incremental", func(b *testing.B) {
+		ct := newCovTracker(p)
+		sc := p.newFrameScratch()
+		cov := cmath.NewMatrix(cfg.Subarray, cfg.Subarray)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			spec := specs[i%len(specs)]
+			ct.advanceInto(cov, h[spec.Start:spec.Start+cfg.Window], spec.Index)
+			if _, err := p.processFrameCov(cov, h[spec.Start:spec.Start+cfg.Window], spec, true, sc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

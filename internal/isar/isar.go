@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"math"
 	"math/cmplx"
+	"sync"
 
 	"wivi/internal/cmath"
 	"wivi/internal/dsp"
@@ -91,8 +92,11 @@ func (c Config) Validate() error {
 		return errors.New("isar: Velocity must be positive")
 	case c.Window < 4:
 		return fmt.Errorf("isar: Window %d too small", c.Window)
-	case c.Subarray < 2 || c.Subarray > c.Window:
-		return fmt.Errorf("isar: Subarray %d must be in [2, Window]", c.Subarray)
+	case c.Subarray < 3 || c.Subarray > c.Window:
+		// Subarray 2 leaves no noise subspace: EstimateSignalDim keeps at
+		// least one signal dimension, and MUSIC needs >= 2 noise
+		// eigenvectors below it to be meaningful (the n-2 cap).
+		return fmt.Errorf("isar: Subarray %d must be in [3, Window] (smaller leaves no noise subspace)", c.Subarray)
 	case c.Hop < 1:
 		return fmt.Errorf("isar: Hop %d must be >= 1", c.Hop)
 	case c.ThetaStepDeg <= 0 || c.ThetaStepDeg > 45:
@@ -124,6 +128,11 @@ type Processor struct {
 	// steerWin[t] is the steering vector on the full window (for
 	// beamforming).
 	steerWin []cmath.Vector
+	// scratch pools per-goroutine frame workspaces; covPool pools the
+	// covariance matrices handed from the serial tracker pass to the
+	// frame workers (see incremental.go).
+	scratch sync.Pool
+	covPool sync.Pool
 }
 
 // NewProcessor validates cfg and builds a processor.
@@ -136,6 +145,7 @@ func NewProcessor(cfg Config) (*Processor, error) {
 		thetas = append(thetas, th)
 	}
 	p := &Processor{cfg: cfg, thetasDeg: thetas}
+	p.initPools()
 	p.steerSub = make([]cmath.Vector, len(thetas))
 	p.steerWin = make([]cmath.Vector, len(thetas))
 	for i, th := range thetas {
@@ -175,11 +185,19 @@ func (p *Processor) SmoothedCorrelation(window []complex128) (*cmath.Matrix, err
 
 // EstimateSignalDim classifies eigenvalues into signal and noise
 // subspaces: eigenvalues above EigNoiseFactor times the median are
-// signal. At least one signal dimension is returned (the DC), and the
-// result is capped so at least two noise eigenvectors remain.
+// signal. The estimate is capped to MaxSources and to n-2 (so at least
+// two noise eigenvectors remain), then floored at one signal dimension
+// (the DC) — the floor is applied last, so the result is never zero even
+// for degenerate caps (a Subarray of 3 with n-2 = 1 yields 1, not 0).
 func (p *Processor) EstimateSignalDim(values []float64) int {
+	return p.estimateSignalDim(values, make([]float64, len(values)))
+}
+
+// estimateSignalDim is EstimateSignalDim with the median's sort scratch
+// provided by the caller (cap >= len(values)).
+func (p *Processor) estimateSignalDim(values, medBuf []float64) int {
 	n := len(values)
-	med := dsp.Median(values)
+	med := dsp.MedianBuf(values, medBuf)
 	if med <= 0 {
 		med = 1e-300
 	}
@@ -189,14 +207,14 @@ func (p *Processor) EstimateSignalDim(values []float64) int {
 			dim++
 		}
 	}
-	if dim < 1 {
-		dim = 1
-	}
 	if dim > p.cfg.MaxSources {
 		dim = p.cfg.MaxSources
 	}
 	if dim > n-2 {
 		dim = n - 2
+	}
+	if dim < 1 {
+		dim = 1
 	}
 	return dim
 }
@@ -206,6 +224,13 @@ func (p *Processor) EstimateSignalDim(values []float64) int {
 // normalized so its minimum is 1.
 func (p *Processor) MUSICSpectrum(noise []cmath.Vector) []float64 {
 	out := make([]float64, len(p.thetasDeg))
+	p.musicSpectrumInto(noise, out)
+	return out
+}
+
+// musicSpectrumInto is MUSICSpectrum computing into out (length must be
+// the angle-grid size).
+func (p *Processor) musicSpectrumInto(noise []cmath.Vector, out []float64) {
 	for ti, steer := range p.steerSub {
 		var denom float64
 		for _, u := range noise {
@@ -220,7 +245,6 @@ func (p *Processor) MUSICSpectrum(noise []cmath.Vector) []float64 {
 		out[ti] = 1 / denom
 	}
 	normalizeMin1(out)
-	return out
 }
 
 // BartlettSpectrum evaluates the power-bearing Bartlett spectrum
@@ -230,24 +254,39 @@ func (p *Processor) MUSICSpectrum(noise []cmath.Vector) []float64 {
 // power across more angles, §5.2).
 func (p *Processor) BartlettSpectrum(r *cmath.Matrix) []float64 {
 	out := make([]float64, len(p.thetasDeg))
+	p.bartlettSpectrumInto(r, out, make(cmath.Vector, p.cfg.Subarray))
+	return out
+}
+
+// bartlettSpectrumInto is BartlettSpectrum computing into out with the
+// R*e product landing in tmp (length Subarray) — the allocation-free
+// kernel both spectra entry points share.
+func (p *Processor) bartlettSpectrumInto(r *cmath.Matrix, out []float64, tmp cmath.Vector) {
 	inv := 1 / float64(p.cfg.Subarray)
 	for ti, steer := range p.steerSub {
-		rv := r.MulVec(steer)
+		rv := r.MulVecInto(tmp, steer)
 		out[ti] = real(steer.Dot(rv)) * inv
 		if out[ti] < 0 {
 			out[ti] = 0
 		}
 	}
-	return out
 }
 
 // BeamformSpectrum evaluates |A[theta]|^2 of Eq. 5.1 for one window on
 // the processor's angle grid, normalized so its minimum is 1.
 func (p *Processor) BeamformSpectrum(window []complex128) ([]float64, error) {
-	if len(window) < p.cfg.Window {
-		return nil, fmt.Errorf("isar: window of %d samples shorter than Window %d", len(window), p.cfg.Window)
-	}
 	out := make([]float64, len(p.thetasDeg))
+	if err := p.beamformSpectrumInto(window, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// beamformSpectrumInto is BeamformSpectrum computing into out.
+func (p *Processor) beamformSpectrumInto(window []complex128, out []float64) error {
+	if len(window) < p.cfg.Window {
+		return fmt.Errorf("isar: window of %d samples shorter than Window %d", len(window), p.cfg.Window)
+	}
 	for ti, steer := range p.steerWin {
 		var acc complex128
 		for i := 0; i < p.cfg.Window; i++ {
@@ -256,20 +295,34 @@ func (p *Processor) BeamformSpectrum(window []complex128) ([]float64, error) {
 		out[ti] = real(acc)*real(acc) + imag(acc)*imag(acc)
 	}
 	normalizeMin1(out)
-	return out, nil
+	return nil
 }
 
+// normalizeMin1 scales the nonnegative spectrum x so its minimum is
+// exactly 1, the contract the dB weighting of Eq. 5.4/5.5 relies on.
+// Exact zeros (possible in a Beamform spectrum when a window cancels
+// perfectly at some angle) are clamped up to the smallest positive entry
+// before scaling — clamp-then-normalize — so the contract holds even
+// then; an all-zero spectrum carries no angular information and
+// normalizes to all ones.
 func normalizeMin1(x []float64) {
 	min := math.Inf(1)
 	for _, v := range x {
-		if v < min {
+		if v > 0 && v < min {
 			min = v
 		}
 	}
-	if min <= 0 || math.IsInf(min, 1) {
+	if math.IsInf(min, 1) {
+		for i := range x {
+			x[i] = 1
+		}
 		return
 	}
 	for i := range x {
-		x[i] /= min
+		if x[i] < min {
+			x[i] = 1
+		} else {
+			x[i] /= min
+		}
 	}
 }

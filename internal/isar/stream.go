@@ -4,15 +4,24 @@ package isar
 // slicing a complete capture into FrameSpecs and fanning them out, a
 // Streamer consumes the channel stream incrementally and schedules each
 // frame the moment its window closes, while later windows are still
-// filling. ProcessFrame is reused verbatim, and frames are emitted in
-// index order through a reorder buffer, so the frame sequence — and any
-// image assembled from it — is bit-identical to the batch chain for
-// every worker count and every input chunking.
+// filling. The covariance is advanced by the same serial covTracker the
+// batch chain uses — on the Append goroutine, in frame-index order — and
+// the independent eig + spectra stage runs through processFrameCov, so
+// the frame sequence (and any image assembled from it) is bit-identical
+// to the batch chain for every worker count and every input chunking.
+//
+// The sample buffer is bounded: each scheduled frame takes its own copy
+// of its window at dispatch, so Append can trim every sample older than
+// the earliest unscheduled window. A stream that runs for a week retains
+// O(Window + chunk) samples, not the whole capture history.
 
 import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
+
+	"wivi/internal/cmath"
 )
 
 // StreamConfig parameterizes a Streamer.
@@ -47,9 +56,17 @@ type Streamer struct {
 	p     *Processor
 	music bool
 
-	// Producer-side state, touched only by the Append goroutine.
+	// Producer-side state, touched only by the Append goroutine. h holds
+	// the not-yet-consumed tail of the sample stream; base is the
+	// absolute sample index of h[0] (it grows as the consumed prefix is
+	// trimmed). ct advances the sliding covariance at dispatch.
 	h    []complex128
-	next int // next frame index to schedule
+	base int
+	ct   *covTracker
+
+	// next is the next frame index to schedule. Written only by the
+	// Append goroutine; atomic so Scheduled is safe from any goroutine.
+	next atomic.Int64
 
 	// extra holds local slots for borrowed worker goroutines.
 	extra chan struct{}
@@ -73,6 +90,7 @@ func (p *Processor) NewStreamer(cfg StreamConfig) *Streamer {
 	s := &Streamer{
 		p:       p,
 		music:   !cfg.Beamform,
+		ct:      newCovTracker(p),
 		extra:   make(chan struct{}, extra),
 		results: make(chan Frame, 1),
 		out:     make(chan Frame),
@@ -134,13 +152,31 @@ func (s *Streamer) Append(ctx context.Context, samples []complex128) error {
 	if err := s.Err(); err != nil {
 		return err
 	}
-	s.h = append(s.h, samples...)
 	w := s.p.cfg.Window
 	hop := s.p.cfg.Hop
-	for s.next*hop+w <= len(s.h) {
-		spec := FrameSpec{Index: s.next, Start: s.next * hop}
-		s.next++
-		s.dispatch(s.h, spec)
+	// Trim the consumed prefix before growing: samples before the
+	// earliest unscheduled window (frame `next`, absolute start
+	// next*hop) can never be read again — every in-flight frame works on
+	// its own window copy — so the retained buffer stays O(Window +
+	// chunk) for any stream length. The compaction reuses h's backing
+	// array; no worker reads h.
+	if keep := int(s.next.Load())*hop - s.base; keep > 0 {
+		if keep > len(s.h) {
+			keep = len(s.h)
+		}
+		n := copy(s.h, s.h[keep:])
+		s.h = s.h[:n]
+		s.base += keep
+	}
+	s.h = append(s.h, samples...)
+	for {
+		next := int(s.next.Load())
+		start := next * hop
+		if start+w > s.base+len(s.h) {
+			break
+		}
+		s.next.Store(int64(next + 1))
+		s.dispatch(FrameSpec{Index: next, Start: start})
 		if err := s.Err(); err != nil {
 			return err
 		}
@@ -148,15 +184,27 @@ func (s *Streamer) Append(ctx context.Context, samples []complex128) error {
 	return nil
 }
 
-// Scheduled returns how many frames have been scheduled so far.
-func (s *Streamer) Scheduled() int { return s.next }
+// Scheduled returns how many frames have been scheduled so far. Safe to
+// call from any goroutine.
+func (s *Streamer) Scheduled() int { return int(s.next.Load()) }
 
-// dispatch runs one frame, on a borrowed goroutine when both a local
-// slot and a global frame token are free, else inline on the Append
-// goroutine — the same always-progress policy as computeFrames. h is an
-// immutable snapshot: a later Append may reallocate s.h, but this
-// slice's backing array keeps the samples the frame reads.
-func (s *Streamer) dispatch(h []complex128, spec FrameSpec) {
+// Retained returns the current length of the internal sample buffer —
+// exposed so tests can assert the bounded-memory contract.
+func (s *Streamer) Retained() int { return len(s.h) }
+
+// dispatch advances the covariance tracker for one frame (serially, on
+// the Append goroutine), copies the frame's window into pooled scratch,
+// and runs the independent per-frame stage — on a borrowed goroutine
+// when both a local slot and a global frame token are free, else inline
+// — the same always-progress policy as computeFrames. The window copy is
+// what lets Append trim s.h while the frame is still in flight.
+func (s *Streamer) dispatch(spec FrameSpec) {
+	w := s.p.cfg.Window
+	rel := spec.Start - s.base
+	sc := s.p.getScratch()
+	copy(sc.win, s.h[rel:rel+w])
+	cov := s.p.getCov()
+	s.ct.advanceInto(cov, sc.win, spec.Index)
 	select {
 	case s.extra <- struct{}{}:
 		select {
@@ -165,7 +213,7 @@ func (s *Streamer) dispatch(h []complex128, spec FrameSpec) {
 			go func() {
 				defer s.wg.Done()
 				defer func() { <-frameTokens; <-s.extra }()
-				s.runFrame(h, spec)
+				s.runFrame(cov, sc, spec)
 			}()
 			return
 		default:
@@ -173,11 +221,15 @@ func (s *Streamer) dispatch(h []complex128, spec FrameSpec) {
 		}
 	default:
 	}
-	s.runFrame(h, spec)
+	s.runFrame(cov, sc, spec)
 }
 
-func (s *Streamer) runFrame(h []complex128, spec FrameSpec) {
-	fr, err := s.p.ProcessFrame(h, spec, s.music)
+// runFrame executes the fan-out stage for one dispatched frame and
+// returns its covariance matrix and scratch to the processor pools.
+func (s *Streamer) runFrame(cov *cmath.Matrix, sc *frameScratch, spec FrameSpec) {
+	fr, err := s.p.processFrameCov(cov, sc.win, spec, s.music, sc)
+	s.p.putCov(cov)
+	s.p.putScratch(sc)
 	if err != nil {
 		s.fail(fmt.Errorf("isar: streaming frame %d: %w", spec.Index, err))
 		return

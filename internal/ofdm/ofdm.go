@@ -198,19 +198,44 @@ func CombineSubcarriers(hs [][]complex128) ([]complex128, error) {
 // guarantee rests on that invariance. Noise still averages down by √K
 // across the K independent subcarriers, which is the §7.1 SNR motive.
 func AverageSubcarriers(hs [][]complex128) ([]complex128, error) {
-	active, err := ActiveSubcarriers(hs)
+	out, err := AverageSubcarriersAppend(nil, hs)
 	if err != nil {
 		return nil, err
 	}
-	n := len(active[0])
-	out := make([]complex128, n)
-	inv := complex(1/float64(len(active)), 0)
+	return out, nil
+}
+
+// AverageSubcarriersAppend is AverageSubcarriers appending the combined
+// samples to dst and returning the extended slice — the allocation-free
+// form the streaming chain calls once per chunk. Validation and
+// summation order match ActiveSubcarriers / AverageSubcarriers exactly
+// (non-empty bins in input order), so the two entry points agree bit for
+// bit.
+func AverageSubcarriersAppend(dst []complex128, hs [][]complex128) ([]complex128, error) {
+	n, active := -1, 0
+	for _, h := range hs {
+		if len(h) == 0 {
+			continue
+		}
+		if n < 0 {
+			n = len(h)
+		} else if len(h) != n {
+			return dst, fmt.Errorf("ofdm: ragged subcarrier input")
+		}
+		active++
+	}
+	if active == 0 {
+		return dst, fmt.Errorf("ofdm: need at least one active subcarrier")
+	}
+	inv := complex(1/float64(active), 0)
 	for i := 0; i < n; i++ {
 		var sum complex128
-		for _, h := range active {
-			sum += h[i]
+		for _, h := range hs {
+			if len(h) > 0 {
+				sum += h[i]
+			}
 		}
-		out[i] = sum * inv
+		dst = append(dst, sum*inv)
 	}
-	return out, nil
+	return dst, nil
 }

@@ -191,8 +191,19 @@ const sideWallReflectivity = 0.35
 // geometry is computed once per scatterer and replayed across
 // subcarriers.
 func (d *Device) movingChannels(ant int, t float64) []complex128 {
-	txa := d.txAntenna(ant)
 	out := make([]complex128, len(d.lambdas))
+	d.movingChannelsInto(out, ant, t)
+	return out
+}
+
+// movingChannelsInto is movingChannels accumulating into out (length
+// NumSubcarriers, zeroed here) — the allocation-free kernel the tracking
+// capture loop reuses every sample.
+func (d *Device) movingChannelsInto(out []complex128, ant int, t float64) {
+	for k := range out {
+		out[k] = 0
+	}
+	txa := d.txAntenna(ant)
 	wallAmp := d.scene.TwoWayWallAmp()
 	addPath := func(pos geom.Point, rcs, extra float64) {
 		p0 := rf.ScatterPath(txa, d.Rx, pos, d.lambda0, rcs, extra)
@@ -214,18 +225,23 @@ func (d *Device) movingChannels(ant int, t float64) []complex128 {
 			addScatter(part.Traj.At(t), part.RCS)
 		}
 	}
-	return out
 }
 
 // channelAt returns the full per-subcarrier channel for one transmit
 // antenna at time t.
 func (d *Device) channelAt(ant int, t float64) []complex128 {
-	mov := d.movingChannels(ant, t)
-	st := d.static[ant-1]
-	for k := range mov {
-		mov[k] += st[k]
-	}
+	mov := make([]complex128, len(d.lambdas))
+	d.channelAtInto(mov, ant, t)
 	return mov
+}
+
+// channelAtInto is channelAt computing into dst.
+func (d *Device) channelAtInto(dst []complex128, ant int, t float64) {
+	d.movingChannelsInto(dst, ant, t)
+	st := d.static[ant-1]
+	for k := range dst {
+		dst[k] += st[k]
+	}
 }
 
 // ensureStage1Gain computes the AGC gain that places the strongest
@@ -398,7 +414,9 @@ func (d *Device) Capture(p []complex128, boostDB float64, startT float64, n int)
 // capture of total samples, delivering consecutive chunks of up to
 // chunk samples to emit as they are recorded. An emit error aborts the
 // capture and is returned (the cancellation path). Concatenating the
-// chunks reproduces Capture bit for bit.
+// chunks reproduces Capture bit for bit. The chunk buffers are reused
+// between emit calls (as the StreamFrontEnd contract allows), so a
+// steady-state stream allocates nothing per chunk.
 func (d *Device) StreamCapture(p []complex128, boostDB float64, startT float64, total, chunk int, emit func([][]complex128) error) error {
 	if chunk < 1 {
 		return fmt.Errorf("sim: chunk length %d", chunk)
@@ -407,16 +425,23 @@ func (d *Device) StreamCapture(p []complex128, boostDB float64, startT float64, 
 	if err != nil {
 		return err
 	}
+	buf := make([][]complex128, len(d.lambdas))
+	views := make([][]complex128, len(d.lambdas))
+	for k := range buf {
+		buf[k] = make([]complex128, chunk)
+	}
 	for s.Remaining() > 0 {
 		c := chunk
 		if c > s.Remaining() {
 			c = s.Remaining()
 		}
-		sub, err := s.Read(c)
-		if err != nil {
+		for k := range views {
+			views[k] = buf[k][:c]
+		}
+		if err := s.readInto(views, c); err != nil {
 			return err
 		}
-		if err := emit(sub); err != nil {
+		if err := emit(views); err != nil {
 			return err
 		}
 	}
@@ -438,6 +463,9 @@ type CaptureSession struct {
 	start float64
 	next  int
 	total int
+	// h1, h2 hold the per-sample channel of each transmit antenna,
+	// reused across samples and Reads.
+	h1, h2 []complex128
 }
 
 // StartCapture opens a chunked capture of total samples starting at
@@ -451,7 +479,11 @@ func (d *Device) StartCapture(p []complex128, boostDB float64, startT float64, t
 		return nil, fmt.Errorf("sim: capture length %d", total)
 	}
 	amp, _ := d.tx.Output(complex(d.Cal.TxRefAmp*math.Pow(10, boostDB/20), 0))
-	return &CaptureSession{d: d, p: p, amp: amp, start: startT, total: total}, nil
+	return &CaptureSession{
+		d: d, p: p, amp: amp, start: startT, total: total,
+		h1: make([]complex128, len(d.lambdas)),
+		h2: make([]complex128, len(d.lambdas)),
+	}, nil
 }
 
 // Remaining returns the number of samples the session has not yet read.
@@ -459,22 +491,38 @@ func (s *CaptureSession) Remaining() int { return s.total - s.next }
 
 // Read synthesizes the next n samples of the capture, indexed
 // [subcarrier][sample]. It fails when asked for more samples than remain.
+// The returned buffers are the caller's to keep; the chunked streaming
+// path uses readInto with reused buffers instead.
 func (s *CaptureSession) Read(n int) ([][]complex128, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("sim: chunk length %d", n)
 	}
-	if n > s.Remaining() {
-		return nil, fmt.Errorf("sim: reading %d samples with %d remaining", n, s.Remaining())
-	}
-	d := s.d
-	out := make([][]complex128, len(d.lambdas))
+	out := make([][]complex128, len(s.d.lambdas))
 	for k := range out {
 		out[k] = make([]complex128, n)
 	}
+	if err := s.readInto(out, n); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// readInto synthesizes the next n samples into out (per-subcarrier rows
+// of length n) — the shared kernel behind Read and StreamCapture, so
+// buffered and allocating reads produce bit-identical sample streams.
+func (s *CaptureSession) readInto(out [][]complex128, n int) error {
+	if n <= 0 {
+		return fmt.Errorf("sim: chunk length %d", n)
+	}
+	if n > s.Remaining() {
+		return fmt.Errorf("sim: reading %d samples with %d remaining", n, s.Remaining())
+	}
+	d := s.d
 	for i := 0; i < n; i++ {
 		t := s.start + float64(s.next+i)*d.Cal.SampleT
-		h1 := d.channelAt(1, t)
-		h2 := d.channelAt(2, t)
+		d.channelAtInto(s.h1, 1, t)
+		d.channelAtInto(s.h2, 2, t)
+		h1, h2 := s.h1, s.h2
 		if s.gain == 0 {
 			peak := 0.0
 			for k := range h1 {
@@ -495,7 +543,7 @@ func (s *CaptureSession) Read(n int) ([][]complex128, error) {
 		}
 	}
 	s.next += n
-	return out, nil
+	return nil
 }
 
 // CaptureRaw records n tracking samples of the un-nulled channel: only
