@@ -56,22 +56,30 @@ smoke:
 # frames/s, the paced chain's per-frame lag (wall-clock bound), and —
 # with -benchmem — allocs/op, the number the incremental kernel's
 # scratch pooling keeps near zero (BenchmarkProcessFrame compares the
-# from-scratch and incremental kernels head to head).
+# from-scratch and incremental kernels head to head; BenchmarkHermitianEig
+# compares cold vs warm-started Jacobi with sweeps/op; BenchmarkFFT
+# compares the planned and plan-per-call transforms).
 bench:
 	go test -run '^$$' -bench 'BenchmarkTrack(Sequential|Parallel|Stream|Paced)' -benchtime 5x -benchmem .
 	go test -run '^$$' -bench 'BenchmarkProcessFrame' -benchtime 20x -benchmem ./internal/isar
+	go test -run '^$$' -bench 'BenchmarkHermitianEig' -benchmem ./internal/cmath
+	go test -run '^$$' -bench 'BenchmarkFFT' -benchmem ./internal/dsp
 
 # Machine-readable bench trajectory: every engine mode with -json
 # (schema "wivi-bench/1", see cmd/wivi-bench/report.go), merged into
-# one $(BENCH_OUT). CI runs the same recipe and uploads the file as a
-# per-PR artifact.
+# one $(BENCH_OUT). CI runs the same recipe (plus jq gates) and uploads
+# the file as a per-PR artifact. The stream mode runs cold
+# (-eigkeyframe 1, from-scratch eig every frame) and warm (default
+# keyframe cadence) so the warm-start speedup is visible in one file.
 BENCH_OUT = BENCH_local.json
 bench-json:
 	go run ./cmd/wivi-bench -batch 4 -trackdur 2 -json  > bench-batch.json
-	go run ./cmd/wivi-bench -stream -batch 4 -trackdur 2 -json > bench-stream.json
+	go run ./cmd/wivi-bench -stream -batch 4 -trackdur 4 -eigkeyframe 1 -json > bench-stream-cold.json
+	go run ./cmd/wivi-bench -stream -batch 4 -trackdur 4 -json > bench-stream.json
 	go run ./cmd/wivi-bench -mixed -batch 2 -trackdur 2 -json  > bench-mixed.json
 	go run ./cmd/wivi-bench -paced -batch 2 -trackdur 2 -json  > bench-paced.json
 	jq -s '{schema: "wivi-bench/1", runs: .}' \
-		bench-batch.json bench-stream.json bench-mixed.json bench-paced.json > $(BENCH_OUT)
-	rm -f bench-batch.json bench-stream.json bench-mixed.json bench-paced.json
+		bench-batch.json bench-stream-cold.json bench-stream.json \
+		bench-mixed.json bench-paced.json > $(BENCH_OUT)
+	rm -f bench-batch.json bench-stream-cold.json bench-stream.json bench-mixed.json bench-paced.json
 	@echo "wrote $(BENCH_OUT)"

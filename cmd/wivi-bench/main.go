@@ -60,6 +60,7 @@ import (
 
 	"wivi"
 	"wivi/internal/eval"
+	"wivi/internal/isar"
 )
 
 func main() {
@@ -77,6 +78,7 @@ func main() {
 		mixed    = flag.Bool("mixed", false, "mixed-workload mode: -batch (default 2) track + gesture + stream requests each against one explicit engine")
 		paced    = flag.Bool("paced", false, "real-time paced mode: -batch (default 2) concurrent paced streams with wall-clock SLO enforcement")
 		jsonOut  = flag.Bool("json", false, "emit a machine-readable JSON report on stdout (narration moves to stderr)")
+		eigEvery = flag.Int("eigkeyframe", 0, "eig keyframe cadence for -stream mode devices: 0 = default, 1 = from-scratch eig every frame (the warm-start ablation/baseline)")
 	)
 	flag.Parse()
 	if *workers < 1 {
@@ -132,7 +134,7 @@ func main() {
 		if *batch < 1 {
 			*batch = 4
 		}
-		finish(runStreamMode(out, *batch, *seed, *trackDur))
+		finish(runStreamMode(out, *batch, *seed, *trackDur, *eigEvery))
 		return
 	}
 
@@ -242,15 +244,21 @@ func runExperiments(exps []eval.Experiment, opts eval.Options, workers int, emit
 // regression. CI enforces the same bound on the emitted report via jq.
 const streamAllocsPerFrameGate = 64
 
-func runStreamMode(out io.Writer, batch int, seed int64, trackDur float64) (*benchReport, error) {
-	fmt.Fprintf(out, "streaming latency: %d scenes x %.1fs capture\n", batch, trackDur)
+func runStreamMode(out io.Writer, batch int, seed int64, trackDur float64, eigEvery int) (*benchReport, error) {
+	effectiveEig := eigEvery
+	if effectiveEig == 0 {
+		effectiveEig = isar.DefaultEigKeyframeEvery
+	}
+	fmt.Fprintf(out, "streaming latency: %d scenes x %.1fs capture (eig keyframe every %d)\n",
+		batch, trackDur, effectiveEig)
 	rep := newBenchReport("stream", 1, batch, trackDur)
+	rep.EigKeyframeEvery = effectiveEig
 	buildDevice := func(i int) (*wivi.Device, error) {
 		sc := wivi.NewScene(wivi.SceneOptions{Seed: seed + int64(i)})
 		if err := sc.AddWalker(trackDur + 1); err != nil {
 			return nil, err
 		}
-		return wivi.NewDevice(sc, wivi.DeviceOptions{})
+		return wivi.NewDevice(sc, wivi.DeviceOptions{EigKeyframeEvery: eigEvery})
 	}
 
 	var (
@@ -258,7 +266,17 @@ func runStreamMode(out io.Writer, batch int, seed int64, trackDur float64) (*ben
 		interN, totalFrames                              int
 		totalMallocs                                     uint64
 		lags                                             []time.Duration
+		kernel                                           isar.KernelStats
 	)
+	addKernelDelta := func(before, after isar.KernelStats) {
+		kernel.Frames += after.Frames - before.Frames
+		kernel.Keyframes += after.Keyframes - before.Keyframes
+		kernel.WarmFrames += after.WarmFrames - before.WarmFrames
+		kernel.EigSweeps += after.EigSweeps - before.EigSweeps
+		kernel.CovNs += after.CovNs - before.CovNs
+		kernel.EigNs += after.EigNs - before.EigNs
+		kernel.SpecNs += after.SpecNs - before.SpecNs
+	}
 	for i := 0; i < batch; i++ {
 		// Batch baseline on a fresh identical scene (nulling included, so
 		// both paths pay the same auto-null cost).
@@ -283,6 +301,11 @@ func runStreamMode(out io.Writer, batch int, seed int64, trackDur float64) (*ben
 		// runs concurrently in this mode, so the delta is the chain's.
 		var msBefore runtime.MemStats
 		runtime.ReadMemStats(&msBefore)
+		// Frame-kernel counters (sweeps, per-stage wall time) for the
+		// streamed chain only: the batch baseline above already finished,
+		// and nothing else runs concurrently in this mode, so the delta
+		// across the streamed run is exactly this scene's.
+		ksBefore := isar.ReadKernelStats()
 		streamStart := time.Now()
 		ts, err := sdev.TrackStream(context.Background(), trackDur)
 		if err != nil {
@@ -316,6 +339,7 @@ func runStreamMode(out io.Writer, batch int, seed int64, trackDur float64) (*ben
 		var msAfter runtime.MemStats
 		runtime.ReadMemStats(&msAfter)
 		totalMallocs += msAfter.Mallocs - msBefore.Mallocs
+		addKernelDelta(ksBefore, isar.ReadKernelStats())
 
 		// The streamed image must be byte-identical to batch Track.
 		if !got.Equal(want) {
@@ -348,6 +372,17 @@ func runStreamMode(out io.Writer, batch int, seed int64, trackDur float64) (*ben
 	rep.FramesPerSec = float64(totalFrames) / streamSum
 	rep.FramesPerSecPerCore = rep.FramesPerSec / float64(rep.GOMAXPROCS)
 	rep.AllocsPerFrame = float64(totalMallocs) / float64(totalFrames)
+	if kernel.Frames > 0 {
+		kf := float64(kernel.Frames)
+		rep.EigSweepsPerFrame = float64(kernel.EigSweeps) / kf
+		rep.StageCovUs = float64(kernel.CovNs) / kf / 1e3
+		rep.StageEigUs = float64(kernel.EigNs) / kf / 1e3
+		rep.StageSpectrumUs = float64(kernel.SpecNs) / kf / 1e3
+		fmt.Fprintf(out, "  eig: %.2f Jacobi sweeps/frame (%d keyframes + %d warm over %d frames)\n",
+			rep.EigSweepsPerFrame, kernel.Keyframes, kernel.WarmFrames, kernel.Frames)
+		fmt.Fprintf(out, "  stages: cov %.0fus  eig %.0fus  spectrum %.0fus per frame\n",
+			rep.StageCovUs, rep.StageEigUs, rep.StageSpectrumUs)
+	}
 	fmt.Fprintf(out, "  frame lag: p50 %.2fms  p95 %.2fms  p99 %.2fms over %d frames\n",
 		rep.FrameLagP50Ms, rep.FrameLagP95Ms, rep.FrameLagP99Ms, len(lags))
 	fmt.Fprintf(out, "  throughput: %.2f scenes/s streamed (%.2f batch); outputs identical across %d scenes\n",

@@ -25,6 +25,12 @@ package main
 //	frames_per_s_per_core   frames_per_s / gomaxprocs (stream)
 //	allocs_per_frame heap allocations per streamed frame, whole-chain
 //	                 (capture + combine + kernel + assembly) (stream)
+//	eig_keyframe_every      effective eig keyframe cadence; 1 means
+//	                        from-scratch every frame (stream)
+//	eig_sweeps_per_frame    mean cyclic Jacobi sweeps per frame (stream)
+//	stage_cov_us / stage_eig_us / stage_spectrum_us  per-frame wall
+//	                 microseconds in the covariance, eigendecomposition
+//	                 and spectrum stages of the frame kernel (stream)
 //	real_time_factor capture span / compute time     (paced)
 //	speedup_x        parallel over sequential        (batch)
 //	per_mode         {track|gesture|stream: figures} (mixed)
@@ -65,6 +71,12 @@ type benchReport struct {
 	FramesPerSec        float64 `json:"frames_per_s,omitempty"`
 	FramesPerSecPerCore float64 `json:"frames_per_s_per_core,omitempty"`
 	AllocsPerFrame      float64 `json:"allocs_per_frame,omitempty"`
+
+	EigKeyframeEvery  int     `json:"eig_keyframe_every,omitempty"`
+	EigSweepsPerFrame float64 `json:"eig_sweeps_per_frame,omitempty"`
+	StageCovUs        float64 `json:"stage_cov_us,omitempty"`
+	StageEigUs        float64 `json:"stage_eig_us,omitempty"`
+	StageSpectrumUs   float64 `json:"stage_spectrum_us,omitempty"`
 
 	RealTimeFactor float64 `json:"real_time_factor,omitempty"`
 	SpeedupX       float64 `json:"speedup_x,omitempty"`

@@ -158,7 +158,9 @@ func Doppler(series []complex128, cfg DopplerConfig) (*DopplerResult, error) {
 	for i, v := range series {
 		data[i] = v - mean
 	}
-	spec := dsp.PowerSpectrum(data)
+	// data is a private copy, so it doubles as the FFT scratch — one
+	// buffer for the mean-removed series, the transform, and its |·|².
+	spec := dsp.PowerSpectrumInto(make([]float64, len(data)), data, data)
 	n := len(spec)
 	fs := 1 / cfg.SampleT
 	hz := func(bin int) float64 {

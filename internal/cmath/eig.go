@@ -31,18 +31,26 @@ const (
 	jacobiTol       = 1e-12
 )
 
-// EigWorkspace holds the buffers HermitianEigInto reuses across calls:
-// the working copy of the input, the accumulated rotations, and the
-// sorted output. A workspace is bound to one matrix size and must not be
-// shared between concurrent calls.
+// EigWorkspace holds the buffers HermitianEigInto and HermitianEigWarmInto
+// reuse across calls: the working copy of the input, the accumulated
+// rotations, and the sorted output. A workspace is bound to one matrix
+// size and must not be shared between concurrent calls.
 type EigWorkspace struct {
 	n    int
 	w    *Matrix // Jacobi working copy of the input
 	v    *Matrix // accumulated rotations (unsorted eigenvectors)
 	vecs *Matrix // sorted eigenvector columns (aliased by the result)
+	prod *Matrix // warm-path product temporary, allocated on first warm use
 	vals []float64
 	idx  []int
 	eig  Eig // the returned decomposition (aliases vecs and its Values)
+
+	// LastSweeps is the number of cyclic Jacobi sweeps the most recent
+	// decomposition through this workspace performed — the cost metric
+	// the warm-start path exists to collapse. A warm start from an
+	// exact eigenbasis reports 0 (the rotated matrix is already within
+	// tolerance of diagonal).
+	LastSweeps int
 }
 
 // NewEigWorkspace returns a workspace for n x n decompositions.
@@ -85,6 +93,7 @@ func HermitianEigInto(a *Matrix, ws *EigWorkspace) (*Eig, error) {
 	scale := a.FrobeniusNorm()
 	if scale == 0 {
 		// Zero matrix: all eigenvalues zero, identity eigenvectors.
+		ws.LastSweeps = 0
 		for i := range ws.eig.Values {
 			ws.eig.Values[i] = 0
 		}
@@ -96,34 +105,107 @@ func HermitianEigInto(a *Matrix, ws *EigWorkspace) (*Eig, error) {
 		return nil, ErrNotHermitian
 	}
 
-	w := ws.w
-	copy(w.Data, a.Data)
-	// Force exact Hermitian symmetry so rounding in the input cannot bias
-	// the rotations.
-	for i := 0; i < n; i++ {
-		w.Set(i, i, complex(real(w.At(i, i)), 0))
-		for j := i + 1; j < n; j++ {
-			avg := (w.At(i, j) + cmplx.Conj(w.At(j, i))) / 2
-			w.Set(i, j, avg)
-			w.Set(j, i, cmplx.Conj(avg))
-		}
-	}
-	v := ws.v
-	setIdentity(v)
+	symmetrizeInto(ws.w, a)
+	setIdentity(ws.v)
+	return ws.sweepAndSort(scale, 0)
+}
 
+// HermitianEigWarmInto is HermitianEigInto warm-started from an
+// orthonormal basis `warm` expected to be close to a's eigenbasis —
+// typically the eigenvectors of a nearby matrix, such as the previous
+// keyframe's covariance in a sliding-window chain. The input problem is
+// rotated into the warm basis, W = warmᴴ·A·warm, which is near-diagonal
+// when the guess is good, so the cyclic Jacobi iteration converges in a
+// fraction of the cold path's sweeps (0 for an exact eigenbasis; see
+// EigWorkspace.LastSweeps). The rotation basis is accumulated starting
+// from warm, so the returned eigenvectors live in the original
+// coordinates, exactly like the cold path's.
+//
+// The result satisfies the same convergence contract as HermitianEigInto
+// (off-diagonal norm below jacobiTol times the input's Frobenius norm);
+// it is numerically equivalent to — though not bit-identical with — the
+// cold decomposition, because the two paths apply different rotation
+// sequences. warm must be unitary for the decomposition to be valid; it
+// is read only, never modified. Passing the identity reproduces the cold
+// path's arithmetic exactly.
+func HermitianEigWarmInto(a, warm *Matrix, ws *EigWorkspace) (*Eig, error) {
+	n := a.Rows
+	if a.Cols != n {
+		return nil, ErrNotHermitian
+	}
+	if ws.n != n {
+		return nil, fmt.Errorf("cmath: eig workspace for %dx%d used on %dx%d matrix", ws.n, ws.n, n, n)
+	}
+	if warm.Rows != n || warm.Cols != n {
+		return nil, fmt.Errorf("cmath: warm basis is %dx%d, matrix is %dx%d", warm.Rows, warm.Cols, n, n)
+	}
+	scale := a.FrobeniusNorm()
+	if scale == 0 {
+		// Zero matrix: all eigenvalues zero; the warm basis is already a
+		// valid orthonormal eigenbasis.
+		ws.LastSweeps = 0
+		for i := range ws.eig.Values {
+			ws.eig.Values[i] = 0
+		}
+		copy(ws.vecs.Data, warm.Data)
+		ws.eig.Vectors = ws.vecs
+		return &ws.eig, nil
+	}
+	if !a.IsHermitian(1e-9 * scale) {
+		return nil, ErrNotHermitian
+	}
+	if ws.prod == nil {
+		ws.prod = NewMatrix(n, n)
+	}
+	// Rotate the problem into the warm basis. ws.vecs is free as a
+	// temporary for the symmetrized input until the final sort overwrites
+	// it. The Hermitian-aware product computes only the upper triangle of
+	// W and mirrors it, so W is exactly Hermitian by construction — the
+	// same guarantee symmetrize gives the cold path — at 3/4 the flops of
+	// two full products.
+	symmetrizeInto(ws.vecs, a)
+	mulInto(ws.prod, ws.vecs, warm)
+	mulConjTransposeHermitianInto(ws.w, warm, ws.prod)
+	copy(ws.v.Data, warm.Data)
+	// Pivot-skip threshold tol/n: warm starts leave W near-diagonal, so
+	// most pivots are negligible and skipping them turns an O(n^3) sweep
+	// into an O(n^2) scan. Convergence cannot stall: if every skipped
+	// pivot satisfies |w_pq| <= tol/n, the off-diagonal norm is at most
+	// sqrt(n(n-1))*tol/n < tol — already converged — so any non-converged
+	// sweep rotates at least one pivot and makes progress.
+	return ws.sweepAndSort(scale, jacobiTol*scale/float64(n))
+}
+
+// sweepAndSort runs cyclic Jacobi sweeps on ws.w (accumulating rotations
+// into ws.v) until the off-diagonal norm falls below jacobiTol*scale,
+// then sorts the eigenpairs descending into ws.eig — the shared back half
+// of both the cold and warm entry points. Pivots with magnitude <=
+// skipThresh are not rotated; 0 (the cold path) skips only exact zeros,
+// which jacobiRotate treats as no-ops anyway, keeping the cold arithmetic
+// bit-identical to the historical kernel.
+func (ws *EigWorkspace) sweepAndSort(scale, skipThresh float64) (*Eig, error) {
+	n, w, v := ws.n, ws.w, ws.v
 	tol := jacobiTol * scale
+	skip2 := skipThresh * skipThresh
 	converged := false
-	for sweep := 0; sweep < jacobiMaxSweeps; sweep++ {
+	sweeps := 0
+	for sweeps < jacobiMaxSweeps {
 		if w.offDiagNorm() <= tol {
 			converged = true
 			break
 		}
 		for p := 0; p < n-1; p++ {
 			for q := p + 1; q < n; q++ {
+				apq := w.At(p, q)
+				if real(apq)*real(apq)+imag(apq)*imag(apq) <= skip2 {
+					continue
+				}
 				jacobiRotate(w, v, p, q)
 			}
 		}
+		sweeps++
 	}
+	ws.LastSweeps = sweeps
 	if !converged && w.offDiagNorm() > tol*1e3 {
 		return nil, ErrNoConvergence
 	}
@@ -158,6 +240,75 @@ func HermitianEigInto(a *Matrix, ws *EigWorkspace) (*Eig, error) {
 	}
 	ws.eig.Vectors = sortedVecs
 	return &ws.eig, nil
+}
+
+// symmetrizeInto copies the square matrix a into w and forces exact
+// Hermitian symmetry so rounding in the input cannot bias the rotations.
+func symmetrizeInto(w, a *Matrix) {
+	copy(w.Data, a.Data)
+	forceHermitian(w)
+}
+
+// forceHermitian replaces w with (w + wᴴ)/2 element by element: real
+// diagonal, conjugate-paired off-diagonals. Idempotent, and exact on an
+// already-Hermitian matrix.
+func forceHermitian(w *Matrix) {
+	n := w.Rows
+	for i := 0; i < n; i++ {
+		w.Set(i, i, complex(real(w.At(i, i)), 0))
+		for j := i + 1; j < n; j++ {
+			avg := (w.At(i, j) + cmplx.Conj(w.At(j, i))) / 2
+			w.Set(i, j, avg)
+			w.Set(j, i, cmplx.Conj(avg))
+		}
+	}
+}
+
+// mulInto sets dst = a·b for square matrices of one size. dst must not
+// alias a or b.
+func mulInto(dst, a, b *Matrix) {
+	n := a.Rows
+	for i := range dst.Data {
+		dst.Data[i] = 0
+	}
+	for i := 0; i < n; i++ {
+		rowA := a.Data[i*n : (i+1)*n]
+		rowOut := dst.Data[i*n : (i+1)*n]
+		for k := 0; k < n; k++ {
+			aik := rowA[k]
+			rowB := b.Data[k*n : (k+1)*n]
+			for j := range rowB {
+				rowOut[j] += aik * rowB[j]
+			}
+		}
+	}
+}
+
+// mulConjTransposeHermitianInto sets dst = aᴴ·b for square matrices of
+// one size, for products known to be Hermitian up to rounding (b = M·a
+// with M Hermitian, so aᴴ·b = aᴴMa): only the upper triangle is computed
+// and the lower is its conjugate mirror, so dst is exactly Hermitian by
+// construction — the guarantee forceHermitian provides the cold path — at
+// half the flops of a full product. dst must not alias a or b.
+func mulConjTransposeHermitianInto(dst, a, b *Matrix) {
+	n := a.Rows
+	for i := 0; i < n; i++ {
+		rowOut := dst.Data[i*n : (i+1)*n]
+		for j := i; j < n; j++ {
+			rowOut[j] = 0
+		}
+		for k := 0; k < n; k++ {
+			c := cmplx.Conj(a.Data[k*n+i])
+			rowB := b.Data[k*n : (k+1)*n]
+			for j := i; j < n; j++ {
+				rowOut[j] += c * rowB[j]
+			}
+		}
+		rowOut[i] = complex(real(rowOut[i]), 0)
+		for j := i + 1; j < n; j++ {
+			dst.Data[j*n+i] = cmplx.Conj(rowOut[j])
+		}
+	}
 }
 
 // setIdentity overwrites the square matrix m with the identity.
@@ -240,6 +391,24 @@ func (e *Eig) EigenvectorColumns(k int) []Vector {
 		out[j] = e.Vectors.Col(j)
 	}
 	return out
+}
+
+// SignalSubspaceInto copies the leading signalDim eigenvector columns —
+// the signal-space basis, the complement of NoiseSubspaceInto's — into
+// buf (length >= n*signalDim) and appends them to dst[:0]: no allocation
+// when the caller's buffers are large enough. The returned vectors alias
+// buf and are valid until its next reuse.
+func (e *Eig) SignalSubspaceInto(signalDim int, dst []Vector, buf Vector) []Vector {
+	n := len(e.Values)
+	dst = dst[:0]
+	for j := 0; j < signalDim; j++ {
+		col := buf[j*n : (j+1)*n]
+		for r := 0; r < n; r++ {
+			col[r] = e.Vectors.At(r, j)
+		}
+		dst = append(dst, col)
+	}
+	return dst
 }
 
 // NoiseSubspace returns the eigenvector columns with index >= signalDim,

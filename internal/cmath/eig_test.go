@@ -218,3 +218,257 @@ func BenchmarkHermitianEig32(b *testing.B) {
 		}
 	}
 }
+
+// perturbedPair builds a Hermitian matrix and a small Hermitian
+// perturbation of it — the adjacent-analysis-window structure the
+// warm-start path is designed for (consecutive covariances differ by a
+// rank-Hop update that is small relative to the shared window).
+func perturbedPair(r *rand.Rand, n int, eps float64) (*Matrix, *Matrix) {
+	a := randHermitian(r, n)
+	b := a.Clone()
+	p := randHermitian(r, n)
+	for i := range b.Data {
+		b.Data[i] += complex(eps, 0) * p.Data[i]
+	}
+	return a, b
+}
+
+// cloneEigBasis deep-copies a decomposition's eigenvector matrix so it
+// survives workspace reuse — what the isar keyframe anchor does.
+func cloneEigBasis(e *Eig) *Matrix { return e.Vectors.Clone() }
+
+// TestHermitianEigWarmFromExactBasis: warm-starting from the matrix's own
+// eigenbasis must converge without a single sweep — the rotated matrix is
+// already diagonal to within the solver tolerance — and reproduce the
+// cold eigenvalues to rounding.
+func TestHermitianEigWarmFromExactBasis(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for _, n := range []int{2, 5, 8, 24, 32} {
+		a := randHermitian(r, n)
+		cold, err := HermitianEig(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		basis := cloneEigBasis(cold)
+		ws := NewEigWorkspace(n)
+		warm, err := HermitianEigWarmInto(a, basis, ws)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if ws.LastSweeps != 0 {
+			t.Errorf("n=%d: warm start from exact basis took %d sweeps, want 0", n, ws.LastSweeps)
+		}
+		scale := a.FrobeniusNorm()
+		for i := range cold.Values {
+			if math.Abs(warm.Values[i]-cold.Values[i]) > 1e-10*scale {
+				t.Errorf("n=%d: eigenvalue %d = %g warm vs %g cold", n, i, warm.Values[i], cold.Values[i])
+			}
+		}
+		assertEigResidual(t, a, warm, 1e-8)
+	}
+}
+
+// TestHermitianEigWarmFromIdentityMatchesCold: with the identity as warm
+// basis, the rotated problem is the original problem (products against I
+// add exact zeros and multiply by exact ones), so the warm path must
+// solve it in no more sweeps than the cold path and reproduce its
+// eigenvalues to solver tolerance. The two are no longer bit-identical:
+// the warm sweep skips pivots below tol/n (see sweepAndSort), a
+// deliberately different — cheaper — rotation sequence.
+func TestHermitianEigWarmFromIdentityMatchesCold(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for _, n := range []int{3, 8, 24} {
+		a := randHermitian(r, n)
+		wsCold := NewEigWorkspace(n)
+		cold, err := HermitianEigInto(a, wsCold)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wsWarm := NewEigWorkspace(n)
+		warm, err := HermitianEigWarmInto(a, Identity(n), wsWarm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wsWarm.LastSweeps > wsCold.LastSweeps {
+			t.Errorf("n=%d: identity warm start took %d sweeps, cold took %d", n, wsWarm.LastSweeps, wsCold.LastSweeps)
+		}
+		scale := a.FrobeniusNorm()
+		for i := range cold.Values {
+			if d := math.Abs(warm.Values[i] - cold.Values[i]); d > 1e-10*scale {
+				t.Errorf("n=%d: eigenvalue %d differs: %g warm vs %g cold (|d|=%g)", n, i, warm.Values[i], cold.Values[i], d)
+			}
+		}
+		assertEigResidual(t, a, warm, 1e-9)
+	}
+}
+
+// TestHermitianEigWarmPerturbed is the equivalence bound on the intended
+// workload: warm-start the perturbed matrix from the original's
+// eigenbasis and require (1) a full valid decomposition (residual,
+// unitarity, descending order), (2) eigenvalues matching the cold
+// decomposition of the same perturbed matrix to solver tolerance, and
+// (3) no more sweeps than the cold path needs.
+func TestHermitianEigWarmPerturbed(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for _, n := range []int{8, 24, 32} {
+		for _, eps := range []float64{1e-6, 1e-3, 1e-1} {
+			a, b := perturbedPair(r, n, eps)
+			base, err := HermitianEig(a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			basis := cloneEigBasis(base)
+			wsCold := NewEigWorkspace(n)
+			cold, err := HermitianEigInto(b, wsCold)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wsWarm := NewEigWorkspace(n)
+			warm, err := HermitianEigWarmInto(b, basis, wsWarm)
+			if err != nil {
+				t.Fatalf("n=%d eps=%g: %v", n, eps, err)
+			}
+			if wsWarm.LastSweeps > wsCold.LastSweeps {
+				t.Errorf("n=%d eps=%g: warm %d sweeps > cold %d", n, eps, wsWarm.LastSweeps, wsCold.LastSweeps)
+			}
+			scale := b.FrobeniusNorm()
+			for i := range cold.Values {
+				if math.Abs(warm.Values[i]-cold.Values[i]) > 1e-9*scale {
+					t.Errorf("n=%d eps=%g: eigenvalue %d = %g warm vs %g cold", n, eps, i, warm.Values[i], cold.Values[i])
+				}
+			}
+			for i := 1; i < n; i++ {
+				if warm.Values[i] > warm.Values[i-1]+1e-12*scale {
+					t.Errorf("n=%d eps=%g: warm eigenvalues not sorted at %d: %v", n, eps, i, warm.Values)
+				}
+			}
+			assertEigResidual(t, b, warm, 1e-8)
+		}
+	}
+}
+
+// assertEigResidual checks A·v = λ·v for every eigenpair and Vᴴ·V = I,
+// with tolerances relative to the matrix scale.
+func assertEigResidual(t *testing.T, a *Matrix, e *Eig, tol float64) {
+	t.Helper()
+	n := a.Rows
+	scale := a.FrobeniusNorm()
+	if scale == 0 {
+		scale = 1
+	}
+	for j := 0; j < n; j++ {
+		v := e.Vectors.Col(j)
+		av := a.MulVec(v)
+		for i := range av {
+			if cmplx.Abs(av[i]-complex(e.Values[j], 0)*v[i]) > tol*scale {
+				t.Fatalf("eigenpair %d: |A·v - λ·v|[%d] = %g > %g", j,
+					i, cmplx.Abs(av[i]-complex(e.Values[j], 0)*v[i]), tol*scale)
+			}
+		}
+	}
+	vhv := e.Vectors.ConjTranspose().Mul(e.Vectors)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			want := complex128(0)
+			if i == j {
+				want = 1
+			}
+			if cmplx.Abs(vhv.At(i, j)-want) > 1e-9 {
+				t.Fatalf("V not unitary at (%d,%d): %v", i, j, vhv.At(i, j))
+			}
+		}
+	}
+}
+
+// TestHermitianEigWarmRejects covers the warm entry point's validation:
+// mismatched workspace, mismatched basis, non-Hermitian input.
+func TestHermitianEigWarmRejects(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	a := randHermitian(r, 4)
+	if _, err := HermitianEigWarmInto(a, Identity(4), NewEigWorkspace(5)); err == nil {
+		t.Fatal("size-mismatched workspace accepted")
+	}
+	if _, err := HermitianEigWarmInto(a, Identity(3), NewEigWorkspace(4)); err == nil {
+		t.Fatal("size-mismatched warm basis accepted")
+	}
+	bad := NewMatrix(4, 4)
+	bad.Set(0, 1, 1)
+	bad.Set(1, 0, 2)
+	if _, err := HermitianEigWarmInto(bad, Identity(4), NewEigWorkspace(4)); err != ErrNotHermitian {
+		t.Fatalf("err = %v, want ErrNotHermitian", err)
+	}
+}
+
+// TestHermitianEigWarmZeroMatrix: the zero matrix short-circuits with the
+// warm basis as the (valid) eigenbasis and zero sweeps.
+func TestHermitianEigWarmZeroMatrix(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	basis := cloneEigBasis(mustEig(t, randHermitian(r, 4)))
+	ws := NewEigWorkspace(4)
+	e, err := HermitianEigWarmInto(NewMatrix(4, 4), basis, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws.LastSweeps != 0 {
+		t.Fatalf("zero matrix took %d sweeps", ws.LastSweeps)
+	}
+	for i, v := range e.Values {
+		if v != 0 {
+			t.Fatalf("eigenvalue %d = %g, want 0", i, v)
+		}
+	}
+	for i := range basis.Data {
+		if e.Vectors.Data[i] != basis.Data[i] {
+			t.Fatal("zero-matrix eigenbasis is not the warm basis")
+		}
+	}
+}
+
+func mustEig(t *testing.T, a *Matrix) *Eig {
+	t.Helper()
+	e, err := HermitianEig(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// BenchmarkHermitianEig compares the cold and warm-started solvers on the
+// warm path's target workload: two nearby 32x32 Hermitian matrices
+// (adjacent analysis windows). The sweeps/op metric is the work the warm
+// start removes.
+func BenchmarkHermitianEig(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	const n = 32
+	a, a2 := perturbedPair(r, n, 1e-3)
+	base, err := HermitianEig(a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	basis := cloneEigBasis(base)
+
+	b.Run("cold", func(b *testing.B) {
+		ws := NewEigWorkspace(n)
+		b.ReportAllocs()
+		var sweeps int
+		for i := 0; i < b.N; i++ {
+			if _, err := HermitianEigInto(a2, ws); err != nil {
+				b.Fatal(err)
+			}
+			sweeps += ws.LastSweeps
+		}
+		b.ReportMetric(float64(sweeps)/float64(b.N), "sweeps/op")
+	})
+	b.Run("warm", func(b *testing.B) {
+		ws := NewEigWorkspace(n)
+		b.ReportAllocs()
+		var sweeps int
+		for i := 0; i < b.N; i++ {
+			if _, err := HermitianEigWarmInto(a2, basis, ws); err != nil {
+				b.Fatal(err)
+			}
+			sweeps += ws.LastSweeps
+		}
+		b.ReportMetric(float64(sweeps)/float64(b.N), "sweeps/op")
+	})
+}

@@ -1,9 +1,11 @@
 package dsp
 
 import (
+	"fmt"
 	"math"
 	"math/cmplx"
 	"math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -151,6 +153,307 @@ func TestPowerSpectrumTone(t *testing.T) {
 	}
 }
 
+// --- Unplanned reference kernels -------------------------------------
+//
+// Verbatim copies of the pre-plan-cache FFT kernels. The planned kernels
+// must stay bit-identical to these: the twiddle tables are built with the
+// same recurrence the reference runs inline, and the Bluestein kernel FFT
+// is the same transform hoisted out of the call. Any divergence would
+// silently move every golden fixture and break batch/stream identity.
+
+func fftRef(x []complex128) []complex128 {
+	out := make([]complex128, len(x))
+	copy(out, x)
+	fftInPlaceRef(out, false)
+	return out
+}
+
+func ifftRef(x []complex128) []complex128 {
+	out := make([]complex128, len(x))
+	copy(out, x)
+	fftInPlaceRef(out, true)
+	return out
+}
+
+func fftInPlaceRef(x []complex128, inverse bool) {
+	n := len(x)
+	if n <= 1 {
+		return
+	}
+	if n&(n-1) == 0 {
+		radix2Ref(x, inverse)
+	} else {
+		bluesteinRef(x, inverse)
+	}
+	if inverse {
+		scale := complex(1/float64(n), 0)
+		for i := range x {
+			x[i] *= scale
+		}
+	}
+}
+
+func radix2Ref(x []complex128, inverse bool) {
+	n := len(x)
+	shift := 64 - uint(bitsTrailingZeros(n))
+	for i := 0; i < n; i++ {
+		j := int(bitsReverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := sign * 2 * math.Pi / float64(size)
+		wStep := cmplx.Rect(1, step)
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+				w *= wStep
+			}
+		}
+	}
+}
+
+func bluesteinRef(x []complex128, inverse bool) {
+	n := len(x)
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	chirp := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		kk := (int64(k) * int64(k)) % (2 * int64(n))
+		chirp[k] = cmplx.Rect(1, sign*math.Pi*float64(kk)/float64(n))
+	}
+	m := 1
+	for m < 2*n-1 {
+		m <<= 1
+	}
+	a := make([]complex128, m)
+	b := make([]complex128, m)
+	for k := 0; k < n; k++ {
+		a[k] = x[k] * chirp[k]
+		b[k] = cmplx.Conj(chirp[k])
+	}
+	for k := 1; k < n; k++ {
+		b[m-k] = cmplx.Conj(chirp[k])
+	}
+	radix2Ref(a, false)
+	radix2Ref(b, false)
+	for i := range a {
+		a[i] *= b[i]
+	}
+	radix2Ref(a, true)
+	invM := complex(1/float64(m), 0)
+	for k := 0; k < n; k++ {
+		x[k] = a[k] * invM * chirp[k]
+	}
+}
+
+func bitsTrailingZeros(n int) int {
+	c := 0
+	for n&1 == 0 {
+		n >>= 1
+		c++
+	}
+	return c
+}
+
+func bitsReverse64(v uint64) uint64 {
+	var out uint64
+	for i := 0; i < 64; i++ {
+		out = out<<1 | (v>>uint(i))&1
+	}
+	return out
+}
+
+// TestFFTPlannedBitIdenticalToReference is the plan cache's core
+// contract: for power-of-two and Bluestein sizes alike, forward and
+// inverse, the planned kernels reproduce the unplanned reference bit for
+// bit, so caching changes no downstream output.
+func TestFFTPlannedBitIdenticalToReference(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for _, n := range []int{1, 2, 3, 4, 7, 16, 64, 100, 128, 331, 1000} {
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(r.NormFloat64(), r.NormFloat64())
+		}
+		// Run each planned transform twice: the first call builds the
+		// plan, the second exercises the cached path. Both must match.
+		for pass := 0; pass < 2; pass++ {
+			fwd, wantFwd := FFT(x), fftRef(x)
+			inv, wantInv := IFFT(x), ifftRef(x)
+			for i := 0; i < n; i++ {
+				if fwd[i] != wantFwd[i] {
+					t.Fatalf("n=%d pass=%d: FFT bin %d = %v, reference %v", n, pass, i, fwd[i], wantFwd[i])
+				}
+				if inv[i] != wantInv[i] {
+					t.Fatalf("n=%d pass=%d: IFFT bin %d = %v, reference %v", n, pass, i, inv[i], wantInv[i])
+				}
+			}
+		}
+	}
+}
+
+// TestFFTIntoMatchesFFT: the buffered forms are the same kernels; in-place
+// (dst == x) and out-of-place agree bit for bit with the allocating entry
+// points.
+func TestFFTIntoMatchesFFT(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	for _, n := range []int{8, 60, 64} {
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(r.NormFloat64(), r.NormFloat64())
+		}
+		want := FFT(x)
+		dst := make([]complex128, n)
+		if got := FFTInto(dst, x); &got[0] != &dst[0] {
+			t.Fatal("FFTInto did not return dst")
+		}
+		inPlace := append([]complex128(nil), x...)
+		FFTInto(inPlace, inPlace)
+		for i := range want {
+			if dst[i] != want[i] || inPlace[i] != want[i] {
+				t.Fatalf("n=%d bin %d: FFTInto %v / in-place %v, want %v", n, i, dst[i], inPlace[i], want[i])
+			}
+		}
+		wantI := IFFT(x)
+		gotI := IFFTInto(make([]complex128, n), x)
+		for i := range wantI {
+			if gotI[i] != wantI[i] {
+				t.Fatalf("n=%d bin %d: IFFTInto %v, want %v", n, i, gotI[i], wantI[i])
+			}
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length-mismatched FFTInto did not panic")
+		}
+	}()
+	FFTInto(make([]complex128, 3), make([]complex128, 4))
+}
+
+// TestFFTIntoNoAllocs: once a size's plan exists, the buffered transforms
+// allocate nothing — the whole point of the plan cache for the per-symbol
+// OFDM loop.
+func TestFFTIntoNoAllocs(t *testing.T) {
+	for _, n := range []int{64, 100} { // radix-2 and Bluestein paths
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(float64(i), 1)
+		}
+		dst := make([]complex128, n)
+		FFTInto(dst, x) // build the plan
+		if avg := testing.AllocsPerRun(100, func() { FFTInto(dst, x) }); avg != 0 {
+			t.Errorf("n=%d: planned FFTInto allocates %.1f per op, want 0", n, avg)
+		}
+		if avg := testing.AllocsPerRun(100, func() { IFFTInto(dst, x) }); avg != 0 {
+			t.Errorf("n=%d: planned IFFTInto allocates %.1f per op, want 0", n, avg)
+		}
+	}
+}
+
+// TestFFTConcurrent hammers one size from many goroutines (run under
+// -race): the plan cache must be safe to build and read concurrently, and
+// the pooled Bluestein scratch must never be shared between two calls.
+func TestFFTConcurrent(t *testing.T) {
+	for _, n := range []int{64, 100} {
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(float64(i%7), float64(i%5))
+		}
+		want := fftRef(x)
+		var wg sync.WaitGroup
+		errs := make(chan error, 16)
+		for g := 0; g < 16; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				dst := make([]complex128, n)
+				for it := 0; it < 50; it++ {
+					FFTInto(dst, x)
+					for i := range want {
+						if dst[i] != want[i] {
+							select {
+							case errs <- fmt.Errorf("n=%d bin %d: %v, want %v", n, i, dst[i], want[i]):
+							default:
+							}
+							return
+						}
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestPowerSpectrumInto: the buffered form matches PowerSpectrum, allows
+// scratch to alias x, and is allocation-free once planned.
+func TestPowerSpectrumInto(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	n := 48
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(r.NormFloat64(), r.NormFloat64())
+	}
+	want := PowerSpectrum(x)
+	dst := make([]float64, n)
+	scratch := make([]complex128, n)
+	PowerSpectrumInto(dst, x, scratch)
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("bin %d: %v, want %v", i, dst[i], want[i])
+		}
+	}
+	// Aliased scratch: x is consumed, result unchanged.
+	own := append([]complex128(nil), x...)
+	PowerSpectrumInto(dst, own, own)
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("aliased bin %d: %v, want %v", i, dst[i], want[i])
+		}
+	}
+	if avg := testing.AllocsPerRun(50, func() { PowerSpectrumInto(dst, x, scratch) }); avg != 0 {
+		t.Errorf("PowerSpectrumInto allocates %.1f per op, want 0", avg)
+	}
+}
+
+// TestFFTShiftInto: the buffered form matches FFTShift for even and odd
+// lengths and allocates nothing.
+func TestFFTShiftInto(t *testing.T) {
+	for _, n := range []int{4, 5} {
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(float64(i), 0)
+		}
+		want := FFTShift(x)
+		dst := make([]complex128, n)
+		FFTShiftInto(dst, x)
+		for i := range want {
+			if dst[i] != want[i] {
+				t.Fatalf("n=%d bin %d: %v, want %v", n, i, dst[i], want[i])
+			}
+		}
+		if avg := testing.AllocsPerRun(50, func() { FFTShiftInto(dst, x) }); avg != 0 {
+			t.Errorf("n=%d: FFTShiftInto allocates %.1f per op, want 0", n, avg)
+		}
+	}
+}
+
 func BenchmarkFFT1024(b *testing.B) {
 	r := rand.New(rand.NewSource(1))
 	x := make([]complex128, 1024)
@@ -160,6 +463,39 @@ func BenchmarkFFT1024(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		FFT(x)
+	}
+}
+
+// BenchmarkFFT compares the planned kernels against the unplanned
+// reference (per-call twiddle recurrence, per-call Bluestein kernel FFT)
+// on the two code paths. "planned" uses FFTInto, the shape the OFDM
+// symbol loop and spectrum stages run.
+func BenchmarkFFT(b *testing.B) {
+	for _, bc := range []struct {
+		name string
+		n    int
+	}{{"radix2-64", 64}, {"radix2-1024", 1024}, {"bluestein-100", 100}, {"bluestein-1000", 1000}} {
+		r := rand.New(rand.NewSource(1))
+		x := make([]complex128, bc.n)
+		for i := range x {
+			x[i] = complex(r.NormFloat64(), r.NormFloat64())
+		}
+		dst := make([]complex128, bc.n)
+		b.Run("planned/"+bc.name, func(b *testing.B) {
+			FFTInto(dst, x)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				FFTInto(dst, x)
+			}
+		})
+		b.Run("unplanned/"+bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				copy(dst, x)
+				fftInPlaceRef(dst, false)
+			}
+		})
 	}
 }
 

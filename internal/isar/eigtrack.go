@@ -1,0 +1,180 @@
+package isar
+
+// Keyframe-anchored warm-started eigendecomposition. After the
+// incremental covariance (incremental.go), cyclic Jacobi eig dominates
+// per-frame time (~95%). Consecutive windows overlap by Window-Hop
+// samples, so adjacent covariances — and therefore their eigenbases —
+// are nearly identical; rotating frame k's problem into a nearby
+// eigenbasis leaves a near-diagonal matrix and collapses Jacobi from
+// many sweeps to ~1-2 (cmath.HermitianEigWarmInto).
+//
+// Warm starts must not break the chain's two standing invariants:
+//
+//   - Determinism per frame index: the emitted frames are identical for
+//     every worker count and input chunking (batch == stream, byte for
+//     byte). Warm-starting each frame from its *predecessor* would chain
+//     frame k's output through every frame before it — fine serially, but
+//     the predecessor's basis is produced on whichever worker ran it, and
+//     threading it through the fan-out would serialize the one stage that
+//     parallelizes.
+//   - Periodic exactness: the from-scratch path stays the equivalence
+//     reference, so drift must be re-anchored on a fixed cadence, exactly
+//     like covTracker's refresh.
+//
+// Both fall out of the same shape covTracker uses: every K-th frame is a
+// keyframe whose decomposition runs the existing from-scratch kernel,
+// serially, in frame-index order, on the tracker goroutine (the
+// computeFrames serial pass / the Streamer's Append goroutine). The
+// frames between keyframes warm-start from their cohort keyframe's basis
+// — never from each other — so every frame depends only on (its own
+// covariance, its cohort keyframe) and the fan-out stage stays
+// embarrassingly parallel and deterministic by construction. The default
+// cadence equals covRefreshEvery, so keyframes land exactly on the
+// covariance refresh frames and stay bit-identical to ProcessFrame.
+
+import (
+	"sync/atomic"
+	"time"
+
+	"wivi/internal/cmath"
+)
+
+// DefaultEigKeyframeEvery is the keyframe cadence used when
+// Config.EigKeyframeEvery is 0 (exported so wivi-bench can report the
+// effective cadence). It deliberately
+// equals covRefreshEvery: a keyframe then consumes a covariance that was
+// itself just rebuilt from scratch, so the keyframe's decomposition — and
+// every field of the emitted frame — is bit-identical to the from-scratch
+// ProcessFrame reference. Shorter cadences re-anchor more often but win
+// less; longer cadences risk enough eigenbasis drift across K·Hop samples
+// of motion that warm sweeps creep back up.
+const DefaultEigKeyframeEvery = covRefreshEvery
+
+// eigAnchor is one keyframe's decomposition, deep-copied out of the
+// tracker workspace so it is immutable while the cohort's warm frames —
+// which may still be in flight on other workers when the next keyframe is
+// computed — read it concurrently.
+type eigAnchor struct {
+	// idx is the keyframe's frame index. A frame handed its own anchor
+	// (spec.Index == idx) is the keyframe itself and reuses the
+	// decomposition directly instead of re-running it.
+	idx int
+	// eig holds owned copies of the keyframe's eigenvalues and
+	// eigenvector columns (the warm basis for the cohort).
+	eig cmath.Eig
+}
+
+// eigTracker schedules keyframes and owns the serial from-scratch
+// workspace. Like covTracker it is not safe for concurrent use: exactly
+// one goroutine advances it, in frame-index order — which is also what
+// keeps the keyframe sequence identical between the batch and stream
+// chains.
+type eigTracker struct {
+	every  int
+	ws     *cmath.EigWorkspace
+	anchor *eigAnchor
+}
+
+func newEigTracker(p *Processor) *eigTracker {
+	return &eigTracker{
+		every: p.keyframeEvery(),
+		ws:    cmath.NewEigWorkspace(p.cfg.Subarray),
+	}
+}
+
+// keyframeEvery resolves the configured keyframe cadence: 0 means the
+// default; 1 disables warm-starting (every frame is a keyframe whose eig
+// the workers run from scratch — the pre-warm-start behavior, retained as
+// the benchmarkable baseline).
+func (p *Processor) keyframeEvery() int {
+	if p.cfg.EigKeyframeEvery == 0 {
+		return DefaultEigKeyframeEvery
+	}
+	return p.cfg.EigKeyframeEvery
+}
+
+// advance returns frame idx's anchor, running the from-scratch keyframe
+// decomposition first when idx starts a new cohort. cov must be frame
+// idx's covariance (as produced by covTracker.advanceInto); it is read
+// only. A nil, nil return means warm-starting is disabled and the worker
+// should run the from-scratch kernel itself.
+func (t *eigTracker) advance(cov *cmath.Matrix, idx int) (*eigAnchor, error) {
+	if t.every <= 1 {
+		return nil, nil
+	}
+	if t.anchor == nil || idx%t.every == 0 {
+		start := time.Now()
+		eig, err := cmath.HermitianEigInto(cov, t.ws)
+		if err != nil {
+			return nil, err
+		}
+		a := &eigAnchor{idx: idx}
+		a.eig.Values = append([]float64(nil), eig.Values...)
+		a.eig.Vectors = eig.Vectors.Clone()
+		t.anchor = a
+		kernelStats.keyframes.Add(1)
+		kernelStats.eigSweeps.Add(int64(t.ws.LastSweeps))
+		kernelStats.eigNs.Add(time.Since(start).Nanoseconds())
+	}
+	return t.anchor, nil
+}
+
+// kernelStats aggregates process-wide frame-kernel counters: frame and
+// keyframe counts, Jacobi sweeps, and wall time per stage. The counters
+// are cheap atomics bumped on every frame (a few tens of nanoseconds next
+// to an eig of hundreds of microseconds) so the instrumented numbers are
+// the production numbers — wivi-bench reads them to report
+// eig_sweeps_per_frame and the per-stage breakdown.
+var kernelStats struct {
+	frames     atomic.Int64
+	keyframes  atomic.Int64
+	warmFrames atomic.Int64
+	eigSweeps  atomic.Int64
+	covNs      atomic.Int64
+	eigNs      atomic.Int64
+	specNs     atomic.Int64
+}
+
+// KernelStats is a snapshot of the frame-kernel counters.
+type KernelStats struct {
+	// Frames is the number of frames processed (all modes).
+	Frames int64
+	// Keyframes and WarmFrames split the MUSIC eig calls: from-scratch
+	// anchors vs warm-started cohort members. Frames run with
+	// warm-starting disabled count toward neither.
+	Keyframes  int64
+	WarmFrames int64
+	// EigSweeps is the total cyclic Jacobi sweeps across all eig calls.
+	EigSweeps int64
+	// CovNs, EigNs and SpecNs are cumulative wall nanoseconds in the
+	// covariance, eigendecomposition and spectrum (Bartlett + MUSIC /
+	// beamform) stages. Stages on concurrent workers accumulate in
+	// parallel, so the sum can exceed elapsed wall time.
+	CovNs, EigNs, SpecNs int64
+}
+
+// ReadKernelStats returns the current counter snapshot. The counters are
+// process-wide and monotone; callers interested in one run should
+// subtract a snapshot taken before it (or ResetKernelStats first).
+func ReadKernelStats() KernelStats {
+	return KernelStats{
+		Frames:     kernelStats.frames.Load(),
+		Keyframes:  kernelStats.keyframes.Load(),
+		WarmFrames: kernelStats.warmFrames.Load(),
+		EigSweeps:  kernelStats.eigSweeps.Load(),
+		CovNs:      kernelStats.covNs.Load(),
+		EigNs:      kernelStats.eigNs.Load(),
+		SpecNs:     kernelStats.specNs.Load(),
+	}
+}
+
+// ResetKernelStats zeroes the counters (benchmark harness use).
+func ResetKernelStats() {
+	kernelStats.frames.Store(0)
+	kernelStats.keyframes.Store(0)
+	kernelStats.warmFrames.Store(0)
+	kernelStats.eigSweeps.Store(0)
+	kernelStats.covNs.Store(0)
+	kernelStats.eigNs.Store(0)
+	kernelStats.specNs.Store(0)
+}

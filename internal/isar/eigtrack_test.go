@@ -1,0 +1,275 @@
+package isar
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"wivi/internal/cmath"
+)
+
+// TestKeyframesBitIdenticalToProcessFrame pins the re-anchoring half of
+// the warm-start contract: at the default cadence every keyframe lands on
+// a covariance refresh frame, so the keyframe's covariance is
+// bit-identical to SmoothedCorrelation and its from-scratch
+// decomposition — and therefore every field of the emitted frame — is
+// bit-identical to the retained ProcessFrame reference.
+func TestKeyframesBitIdenticalToProcessFrame(t *testing.T) {
+	cfg := goldenConfig()
+	p, err := NewProcessor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := goldenChannel(cfg, cfg.Window+40*cfg.Hop)
+	img, err := p.ComputeImage(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := p.FrameSpecs(len(h))
+	keyframes := 0
+	for _, spec := range specs {
+		if spec.Index%DefaultEigKeyframeEvery != 0 {
+			continue
+		}
+		keyframes++
+		want, err := p.ProcessFrame(h, spec, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if img.SignalDim[spec.Index] != want.SignalDim {
+			t.Fatalf("keyframe %d: SignalDim %d, want %d", spec.Index, img.SignalDim[spec.Index], want.SignalDim)
+		}
+		for i := range want.Power {
+			if img.Power[spec.Index][i] != want.Power[i] {
+				t.Fatalf("keyframe %d: Power[%d] = %g, want bit-identical %g",
+					spec.Index, i, img.Power[spec.Index][i], want.Power[i])
+			}
+		}
+		for i := range want.Bartlett {
+			if img.Bartlett[spec.Index][i] != want.Bartlett[i] {
+				t.Fatalf("keyframe %d: Bartlett[%d] = %g, want bit-identical %g",
+					spec.Index, i, img.Bartlett[spec.Index][i], want.Bartlett[i])
+			}
+		}
+	}
+	if keyframes < 3 {
+		t.Fatalf("only %d keyframes; test needs to cross several cohorts", keyframes)
+	}
+}
+
+// TestImageWarmCloseToColdChain is the documented warm-start equivalence
+// bound: the default warm-started image must track the cold chain
+// (EigKeyframeEvery = 1, from-scratch eig every frame) within 1e-6
+// relative on every spectrum sample — the same tolerance the golden
+// fixtures enforce, so warm-starting can never move an image further
+// from the fixtures than the fixtures' own slack. Both paths sweep to
+// the same convergence tolerance (off-diagonal norm <= 1e-12 x
+// Frobenius); the difference is the rotation-order and pivot-skipping
+// divergence of two converged Jacobi runs amplified through the MUSIC
+// division, measured at ~1e-8 on the golden scene and far below any
+// physical feature.
+func TestImageWarmCloseToColdChain(t *testing.T) {
+	cfg := goldenConfig()
+	p, err := NewProcessor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := cfg
+	cold.EigKeyframeEvery = 1
+	pc, err := NewProcessor(cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := goldenChannel(cfg, 1024)
+	warm, err := p.ComputeImage(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := pc.ComputeImage(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tol = 1e-6
+	maxRel := 0.0
+	for f := range ref.Power {
+		if warm.SignalDim[f] != ref.SignalDim[f] {
+			t.Fatalf("frame %d: warm SignalDim %d != cold %d", f, warm.SignalDim[f], ref.SignalDim[f])
+		}
+		for i := range ref.Power[f] {
+			rel := math.Abs(warm.Power[f][i]-ref.Power[f][i]) /
+				math.Max(math.Abs(ref.Power[f][i]), 1)
+			if rel > maxRel {
+				maxRel = rel
+			}
+			if rel > tol {
+				t.Fatalf("frame %d Power[%d]: warm-start drift %g > %g", f, i, rel, tol)
+			}
+		}
+		for i := range ref.Bartlett[f] {
+			if warm.Bartlett[f][i] != ref.Bartlett[f][i] {
+				t.Fatalf("frame %d Bartlett[%d]: differs, but the Bartlett stage has no eig", f, i)
+			}
+		}
+	}
+	t.Logf("max warm-vs-cold Power drift: %g (bound %g)", maxRel, tol)
+}
+
+// TestWarmImageDeterministicAcrossWorkersAndCadences: for several
+// keyframe cadences — including ones deliberately misaligned with the
+// covariance refresh — the batch chain is byte-identical across worker
+// counts {1, 4, GOMAXPROCS} and the stream chain is byte-identical to the
+// batch chain. This is the fan-out safety claim of the anchor design:
+// every frame depends only on its own covariance and its cohort
+// keyframe's basis, both produced serially in frame-index order.
+func TestWarmImageDeterministicAcrossWorkersAndCadences(t *testing.T) {
+	base := goldenConfig()
+	h := goldenChannel(base, 700)
+	for _, every := range []int{0, 2, 5, 16, 32} {
+		cfg := base
+		cfg.EigKeyframeEvery = every
+		p, err := NewProcessor(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := p.ComputeImageCtx(context.Background(), h, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{4, runtime.GOMAXPROCS(0)} {
+			got, err := p.ComputeImageCtx(context.Background(), h, workers)
+			if err != nil {
+				t.Fatalf("every=%d workers=%d: %v", every, workers, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("every=%d: image differs between 1 and %d workers", every, workers)
+			}
+		}
+		streamed, err := streamImage(t, p, h, 37, 4, false)
+		if err != nil {
+			t.Fatalf("every=%d: %v", every, err)
+		}
+		if !reflect.DeepEqual(streamed, want) {
+			t.Fatalf("every=%d: streamed image differs from batch", every)
+		}
+	}
+}
+
+// TestWarmEigOnFrameCovariances runs the warm kernel directly on real
+// consecutive frame covariances (not synthetic perturbations): warm
+// frames must use no more sweeps than the cold kernel on the same matrix
+// and reproduce its eigenvalues to the convergence tolerance. Sweep
+// counts understate the win — a warm sweep skips negligible pivots, so
+// it costs an O(n^2) scan instead of O(n^3) of rotations — so the
+// aggregate assertion is only that warm never sweeps more; the wall-time
+// claim is enforced by BenchmarkProcessFrame and the CI throughput gate.
+func TestWarmEigOnFrameCovariances(t *testing.T) {
+	cfg := goldenConfig()
+	p, err := NewProcessor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := goldenChannel(cfg, cfg.Window+20*cfg.Hop)
+	specs := p.FrameSpecs(len(h))
+	ct := newCovTracker(p)
+	cov := cmath.NewMatrix(cfg.Subarray, cfg.Subarray)
+	wsCold := cmath.NewEigWorkspace(cfg.Subarray)
+	wsWarm := cmath.NewEigWorkspace(cfg.Subarray)
+	var key *cmath.Matrix
+	totalCold, totalWarm, warmFrames := 0, 0, 0
+	for _, spec := range specs {
+		ct.advanceInto(cov, h[spec.Start:spec.Start+cfg.Window], spec.Index)
+		coldEig, err := cmath.HermitianEigInto(cov, wsCold)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if spec.Index%DefaultEigKeyframeEvery == 0 {
+			key = coldEig.Vectors.Clone()
+			continue
+		}
+		coldSweeps := wsCold.LastSweeps
+		warmEig, err := cmath.HermitianEigWarmInto(cov, key, wsWarm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wsWarm.LastSweeps > coldSweeps {
+			t.Fatalf("frame %d: warm used %d sweeps, cold %d", spec.Index, wsWarm.LastSweeps, coldSweeps)
+		}
+		scale := cov.FrobeniusNorm()
+		for i := range coldEig.Values {
+			if d := math.Abs(warmEig.Values[i] - coldEig.Values[i]); d > 1e-10*scale {
+				t.Fatalf("frame %d: eigenvalue %d warm %g vs cold %g (|d|=%g)",
+					spec.Index, i, warmEig.Values[i], coldEig.Values[i], d)
+			}
+		}
+		totalCold += coldSweeps
+		totalWarm += wsWarm.LastSweeps
+		warmFrames++
+	}
+	if warmFrames == 0 {
+		t.Fatal("no warm frames exercised")
+	}
+	if totalWarm >= totalCold {
+		t.Fatalf("warm sweeps %d not below cold %d over %d frames — warm start is not helping",
+			totalWarm, totalCold, warmFrames)
+	}
+	t.Logf("sweeps over %d warm frames: cold %d, warm %d", warmFrames, totalCold, totalWarm)
+}
+
+// TestEigKeyframeEveryValidate pins the config contract.
+func TestEigKeyframeEveryValidate(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.EigKeyframeEvery = -1
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("Validate accepted negative EigKeyframeEvery")
+	}
+	for _, ok := range []int{0, 1, 7, 64} {
+		cfg.EigKeyframeEvery = ok
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("Validate rejected EigKeyframeEvery=%d: %v", ok, err)
+		}
+	}
+}
+
+// TestKernelStatsAccounting: one batch run at the default cadence must
+// account every frame as exactly one keyframe or warm frame, with fewer
+// average sweeps per frame than the Jacobi cold start needs — the number
+// wivi-bench surfaces as eig_sweeps_per_frame.
+func TestKernelStatsAccounting(t *testing.T) {
+	cfg := goldenConfig()
+	p, err := NewProcessor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := goldenChannel(cfg, cfg.Window+48*cfg.Hop)
+	before := ReadKernelStats()
+	img, err := p.ComputeImage(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := ReadKernelStats()
+	frames := after.Frames - before.Frames
+	if frames != int64(len(img.Times)) {
+		t.Fatalf("stats counted %d frames, image has %d", frames, len(img.Times))
+	}
+	key := after.Keyframes - before.Keyframes
+	warm := after.WarmFrames - before.WarmFrames
+	if key+warm != frames {
+		t.Fatalf("keyframes %d + warm %d != frames %d", key, warm, frames)
+	}
+	wantKey := (frames + DefaultEigKeyframeEvery - 1) / DefaultEigKeyframeEvery
+	if key != wantKey {
+		t.Fatalf("%d keyframes over %d frames, want %d", key, frames, wantKey)
+	}
+	sweeps := after.EigSweeps - before.EigSweeps
+	if sweeps <= 0 {
+		t.Fatal("no Jacobi sweeps recorded")
+	}
+	if perFrame := float64(sweeps) / float64(frames); perFrame >= 6 {
+		t.Fatalf("%.2f sweeps/frame — warm start not collapsing the Jacobi iteration", perFrame)
+	}
+	if after.CovNs <= before.CovNs || after.EigNs <= before.EigNs || after.SpecNs <= before.SpecNs {
+		t.Fatalf("per-stage timers did not advance: %+v -> %+v", before, after)
+	}
+}

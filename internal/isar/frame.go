@@ -105,7 +105,13 @@ func (p *Processor) ProcessFrame(h []complex128, spec FrameSpec, music bool) (Fr
 			return Frame{}, fmt.Errorf("isar: frame at sample %d: %w", spec.Start, err)
 		}
 		fr.SignalDim = p.EstimateSignalDim(eig.Values)
-		fr.Power = p.MUSICSpectrum(eig.NoiseSubspace(fr.SignalDim))
+		// The complement form of the pseudospectrum, through the same
+		// kernel as processFrameCov, so the two entry points stay
+		// bit-identical (see musicSpectrumComplementInto).
+		n := len(eig.Values)
+		sig := eig.SignalSubspaceInto(fr.SignalDim, nil, make(cmath.Vector, n*fr.SignalDim))
+		fr.Power = make([]float64, len(p.thetasDeg))
+		p.musicSpectrumComplementInto(sig, fr.Power)
 	} else {
 		fr.Power, err = p.BeamformSpectrum(window)
 		if err != nil {
@@ -138,14 +144,16 @@ func (p *Processor) AssembleImage(frames []Frame) *Image {
 }
 
 // computeFrames runs the per-frame stage over every spec, fanning out
-// over up to `workers` goroutines. The smoothed covariance is computed
-// first, serially in frame-index order by a covTracker — the sliding sum
-// is inherently sequential, and running it on the calling goroutine in
-// the same order the Streamer dispatches is what keeps stream and batch
-// byte-identical by construction. Only the independent eig + spectra
-// stage fans out; results land in their spec's index slot, so the frame
-// order — and therefore the assembled image — is deterministic for any
-// worker count. The first error (or a context cancellation) stops the
+// over up to `workers` goroutines. The smoothed covariance and the
+// keyframe eigendecompositions are computed first, serially in
+// frame-index order by a covTracker and eigTracker — the sliding sum is
+// inherently sequential, each cohort's warm frames need their keyframe's
+// basis before they can start, and running both on the calling goroutine
+// in the same order the Streamer dispatches is what keeps stream and
+// batch byte-identical by construction. Only the independent eig +
+// spectra stage fans out; results land in their spec's index slot, so the
+// frame order — and therefore the assembled image — is deterministic for
+// any worker count. The first error (or a context cancellation) stops the
 // remaining work.
 func (p *Processor) computeFrames(ctx context.Context, h []complex128, specs []FrameSpec, music bool, workers int) ([]Frame, error) {
 	frames := make([]Frame, len(specs))
@@ -155,6 +163,7 @@ func (p *Processor) computeFrames(ctx context.Context, h []complex128, specs []F
 	win := p.cfg.Window
 
 	covs := make([]*cmath.Matrix, len(specs))
+	anchors := make([]*eigAnchor, len(specs))
 	defer func() {
 		for _, c := range covs {
 			if c != nil {
@@ -163,6 +172,10 @@ func (p *Processor) computeFrames(ctx context.Context, h []complex128, specs []F
 		}
 	}()
 	ct := newCovTracker(p)
+	var et *eigTracker
+	if music {
+		et = newEigTracker(p)
+	}
 	for _, spec := range specs {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -174,11 +187,18 @@ func (p *Processor) computeFrames(ctx context.Context, h []complex128, specs []F
 		cov := p.getCov()
 		ct.advanceInto(cov, h[spec.Start:spec.Start+win], spec.Index)
 		covs[spec.Index] = cov
+		if et != nil {
+			a, err := et.advance(cov, spec.Index)
+			if err != nil {
+				return nil, fmt.Errorf("isar: frame at sample %d: %w", spec.Start, err)
+			}
+			anchors[spec.Index] = a
+		}
 	}
 
 	runSpec := func(i int, sc *frameScratch) error {
 		spec := specs[i]
-		fr, err := p.processFrameCov(covs[spec.Index], h[spec.Start:spec.Start+win], spec, music, sc)
+		fr, err := p.processFrameCov(covs[spec.Index], h[spec.Start:spec.Start+win], spec, music, sc, anchors[spec.Index])
 		if err != nil {
 			return err
 		}

@@ -22,6 +22,7 @@ package isar
 
 import (
 	"fmt"
+	"time"
 
 	"wivi/internal/cmath"
 )
@@ -71,6 +72,7 @@ func newCovTracker(p *Processor) *covTracker {
 // Hop so large that consecutive windows share no subarray — falls back to
 // the from-scratch rebuild.
 func (t *covTracker) advanceInto(dst *cmath.Matrix, window []complex128, idx int) {
+	covStart := time.Now()
 	w := t.p.cfg.Subarray
 	win := t.p.cfg.Window
 	hop := t.p.cfg.Hop
@@ -105,6 +107,7 @@ func (t *covTracker) advanceInto(dst *cmath.Matrix, window []complex128, idx int
 	for i, v := range t.sum.Data {
 		dst.Data[i] = v * scale
 	}
+	kernelStats.covNs.Add(time.Since(covStart).Nanoseconds())
 }
 
 // frameScratch bundles every reusable buffer of the per-frame stage:
@@ -117,23 +120,26 @@ type frameScratch struct {
 	// win receives the window copy the Streamer hands to a worker, so the
 	// producer's sample buffer can be trimmed while the frame is in
 	// flight.
-	win      []complex128
-	eig      *cmath.EigWorkspace
-	noise    []cmath.Vector
-	noiseBuf cmath.Vector
-	mulTmp   cmath.Vector
-	medBuf   []float64
+	win    []complex128
+	eig    *cmath.EigWorkspace
+	sig    []cmath.Vector
+	sigBuf cmath.Vector
+	mulTmp cmath.Vector
+	medBuf []float64
 }
 
 func (p *Processor) newFrameScratch() *frameScratch {
 	n := p.cfg.Subarray
+	// The signal subspace holds at most min(MaxSources, n-2) columns
+	// (estimateSignalDim's caps), but sizing for n-1 keeps the buffer
+	// valid for any future cap change at negligible cost.
 	return &frameScratch{
-		win:      make([]complex128, p.cfg.Window),
-		eig:      cmath.NewEigWorkspace(n),
-		noise:    make([]cmath.Vector, 0, n-1),
-		noiseBuf: make(cmath.Vector, n*(n-1)),
-		mulTmp:   make(cmath.Vector, n),
-		medBuf:   make([]float64, n),
+		win:    make([]complex128, p.cfg.Window),
+		eig:    cmath.NewEigWorkspace(n),
+		sig:    make([]cmath.Vector, 0, n-1),
+		sigBuf: make(cmath.Vector, n*(n-1)),
+		mulTmp: make(cmath.Vector, n),
+		medBuf: make([]float64, n),
 	}
 }
 
@@ -150,13 +156,18 @@ func (p *Processor) initPools() {
 }
 
 // processFrameCov is ProcessFrame with the smoothed correlation already
-// computed (by a covTracker) and every temporary drawn from sc. Given the
+// computed (by a covTracker), every temporary drawn from sc, and — when
+// anchor is non-nil — the eigendecomposition warm-started from the
+// frame's cohort keyframe (see eigtrack.go). With a nil anchor and the
 // correlation SmoothedCorrelation would produce, it returns a Frame
 // bit-identical to ProcessFrame's: both call the same spectrum,
-// eigendecomposition, and dimension-estimation kernels. The only
-// per-call allocations are the emitted Frame's Power and Bartlett
-// slices.
-func (p *Processor) processFrameCov(cov *cmath.Matrix, window []complex128, spec FrameSpec, music bool, sc *frameScratch) (Frame, error) {
+// eigendecomposition, and dimension-estimation kernels. The keyframe
+// itself (anchor.idx == spec.Index) reuses the anchor's from-scratch
+// decomposition, which is likewise bit-identical to ProcessFrame's;
+// frames between keyframes are numerically equivalent within the Jacobi
+// convergence tolerance. The only per-call allocations are the emitted
+// Frame's Power and Bartlett slices.
+func (p *Processor) processFrameCov(cov *cmath.Matrix, window []complex128, spec FrameSpec, music bool, sc *frameScratch, anchor *eigAnchor) (Frame, error) {
 	w := p.cfg.Window
 	fr := Frame{
 		Spec:        spec,
@@ -166,17 +177,47 @@ func (p *Processor) processFrameCov(cov *cmath.Matrix, window []complex128, spec
 		Power:       make([]float64, len(p.thetasDeg)),
 		Bartlett:    make([]float64, len(p.thetasDeg)),
 	}
+	kernelStats.frames.Add(1)
+	specStart := time.Now()
 	p.bartlettSpectrumInto(cov, fr.Bartlett, sc.mulTmp)
+	kernelStats.specNs.Add(time.Since(specStart).Nanoseconds())
 	if music {
-		eig, err := cmath.HermitianEigInto(cov, sc.eig)
+		var (
+			eig *cmath.Eig
+			err error
+		)
+		eigStart := time.Now()
+		switch {
+		case anchor != nil && anchor.idx == spec.Index:
+			// This frame is the cohort keyframe: the tracker already ran
+			// the from-scratch decomposition on this very covariance.
+			eig = &anchor.eig
+		case anchor != nil:
+			eig, err = cmath.HermitianEigWarmInto(cov, anchor.eig.Vectors, sc.eig)
+			if err == nil {
+				kernelStats.warmFrames.Add(1)
+				kernelStats.eigSweeps.Add(int64(sc.eig.LastSweeps))
+			}
+		default:
+			eig, err = cmath.HermitianEigInto(cov, sc.eig)
+			if err == nil {
+				kernelStats.eigSweeps.Add(int64(sc.eig.LastSweeps))
+			}
+		}
 		if err != nil {
 			return Frame{}, fmt.Errorf("isar: frame at sample %d: %w", spec.Start, err)
 		}
+		kernelStats.eigNs.Add(time.Since(eigStart).Nanoseconds())
 		fr.SignalDim = p.estimateSignalDim(eig.Values, sc.medBuf)
-		sc.noise = eig.NoiseSubspaceInto(fr.SignalDim, sc.noise, sc.noiseBuf)
-		p.musicSpectrumInto(sc.noise, fr.Power)
+		sc.sig = eig.SignalSubspaceInto(fr.SignalDim, sc.sig, sc.sigBuf)
+		specStart = time.Now()
+		p.musicSpectrumComplementInto(sc.sig, fr.Power)
+		kernelStats.specNs.Add(time.Since(specStart).Nanoseconds())
 	} else {
-		if err := p.beamformSpectrumInto(window, fr.Power); err != nil {
+		specStart = time.Now()
+		err := p.beamformSpectrumInto(window, fr.Power)
+		kernelStats.specNs.Add(time.Since(specStart).Nanoseconds())
+		if err != nil {
 			return Frame{}, err
 		}
 	}

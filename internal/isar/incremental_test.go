@@ -75,7 +75,7 @@ func TestProcessFrameCovMatchesReference(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			got, err := p.processFrameCov(cov, window, spec, music, sc)
+			got, err := p.processFrameCov(cov, window, spec, music, sc, nil)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -103,11 +103,19 @@ func TestProcessFrameCovMatchesReference(t *testing.T) {
 // TestImageCloseToFromScratchChain bounds the end-to-end drift the
 // incremental covariance introduces: the full image must track a chain
 // built purely from ProcessFrame within a tolerance far tighter than the
-// golden fixture's (the eigendecomposition may amplify the 1e-12
-// covariance drift, but not by six orders of magnitude on a
-// well-conditioned scene).
+// golden fixture's 1e-6. Warm-starting is disabled so this bound
+// isolates the covariance path; the warm-start drift has its own
+// documented bound in TestImageWarmCloseToColdChain (eigtrack_test.go).
+//
+// The Power bound is 1e-7: the eigendecomposition amplifies the 1e-12
+// covariance drift, and the complement-form MUSIC denominator (n - sig,
+// see musicSpectrumComplementInto) additionally cancels near
+// pseudospectrum peaks, where the denominator is tiny — measured drift
+// on this scene is ~1.6e-8 at the sharpest peak. Bartlett has no such
+// cancellation and stays at 1e-9.
 func TestImageCloseToFromScratchChain(t *testing.T) {
 	cfg := goldenConfig()
+	cfg.EigKeyframeEvery = 1
 	p, err := NewProcessor(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -126,8 +134,8 @@ func TestImageCloseToFromScratchChain(t *testing.T) {
 		for i := range want.Power {
 			rel := math.Abs(got.Power[spec.Index][i]-want.Power[i]) /
 				math.Max(math.Abs(want.Power[i]), 1)
-			if rel > 1e-9 {
-				t.Fatalf("frame %d Power[%d]: relative drift %g > 1e-9", spec.Index, i, rel)
+			if rel > 1e-7 {
+				t.Fatalf("frame %d Power[%d]: relative drift %g > 1e-7", spec.Index, i, rel)
 			}
 		}
 		for i := range want.Bartlett {
@@ -401,7 +409,10 @@ func BenchmarkProcessFrame(b *testing.B) {
 			}
 		}
 	})
-	b.Run("incremental", func(b *testing.B) {
+	b.Run("incremental-cold", func(b *testing.B) {
+		// The PR 6 chain: incremental covariance, from-scratch eig on
+		// every frame (EigKeyframeEvery = 1) — the baseline the warm
+		// path's >= 2x acceptance gate is measured against.
 		ct := newCovTracker(p)
 		sc := p.newFrameScratch()
 		cov := cmath.NewMatrix(cfg.Subarray, cfg.Subarray)
@@ -410,9 +421,34 @@ func BenchmarkProcessFrame(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			spec := specs[i%len(specs)]
 			ct.advanceInto(cov, h[spec.Start:spec.Start+cfg.Window], spec.Index)
-			if _, err := p.processFrameCov(cov, h[spec.Start:spec.Start+cfg.Window], spec, true, sc); err != nil {
+			if _, err := p.processFrameCov(cov, h[spec.Start:spec.Start+cfg.Window], spec, true, sc, nil); err != nil {
 				b.Fatal(err)
 			}
 		}
+	})
+	b.Run("incremental", func(b *testing.B) {
+		// The full current chain: incremental covariance + keyframe
+		// warm-started eig at the default cadence.
+		ct := newCovTracker(p)
+		et := newEigTracker(p)
+		sc := p.newFrameScratch()
+		cov := cmath.NewMatrix(cfg.Subarray, cfg.Subarray)
+		b.ReportAllocs()
+		start := ReadKernelStats()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			spec := specs[i%len(specs)]
+			ct.advanceInto(cov, h[spec.Start:spec.Start+cfg.Window], spec.Index)
+			anchor, err := et.advance(cov, spec.Index)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := p.processFrameCov(cov, h[spec.Start:spec.Start+cfg.Window], spec, true, sc, anchor); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		end := ReadKernelStats()
+		b.ReportMetric(float64(end.EigSweeps-start.EigSweeps)/float64(b.N), "sweeps/op")
 	})
 }

@@ -59,10 +59,13 @@ type Streamer struct {
 	// Producer-side state, touched only by the Append goroutine. h holds
 	// the not-yet-consumed tail of the sample stream; base is the
 	// absolute sample index of h[0] (it grows as the consumed prefix is
-	// trimmed). ct advances the sliding covariance at dispatch.
+	// trimmed). ct advances the sliding covariance at dispatch; et runs
+	// the serial keyframe eigendecompositions the cohort's warm frames
+	// start from (nil in beamform mode, which has no eig stage).
 	h    []complex128
 	base int
 	ct   *covTracker
+	et   *eigTracker
 
 	// next is the next frame index to schedule. Written only by the
 	// Append goroutine; atomic so Scheduled is safe from any goroutine.
@@ -95,6 +98,9 @@ func (p *Processor) NewStreamer(cfg StreamConfig) *Streamer {
 		results: make(chan Frame, 1),
 		out:     make(chan Frame),
 		failed:  make(chan struct{}),
+	}
+	if s.music {
+		s.et = newEigTracker(p)
 	}
 	go s.collect()
 	return s
@@ -192,12 +198,13 @@ func (s *Streamer) Scheduled() int { return int(s.next.Load()) }
 // exposed so tests can assert the bounded-memory contract.
 func (s *Streamer) Retained() int { return len(s.h) }
 
-// dispatch advances the covariance tracker for one frame (serially, on
-// the Append goroutine), copies the frame's window into pooled scratch,
-// and runs the independent per-frame stage — on a borrowed goroutine
-// when both a local slot and a global frame token are free, else inline
-// — the same always-progress policy as computeFrames. The window copy is
-// what lets Append trim s.h while the frame is still in flight.
+// dispatch advances the covariance and keyframe-eig trackers for one
+// frame (serially, on the Append goroutine), copies the frame's window
+// into pooled scratch, and runs the independent per-frame stage — on a
+// borrowed goroutine when both a local slot and a global frame token are
+// free, else inline — the same always-progress policy as computeFrames.
+// The window copy is what lets Append trim s.h while the frame is still
+// in flight.
 func (s *Streamer) dispatch(spec FrameSpec) {
 	w := s.p.cfg.Window
 	rel := spec.Start - s.base
@@ -205,6 +212,17 @@ func (s *Streamer) dispatch(spec FrameSpec) {
 	copy(sc.win, s.h[rel:rel+w])
 	cov := s.p.getCov()
 	s.ct.advanceInto(cov, sc.win, spec.Index)
+	var anchor *eigAnchor
+	if s.et != nil {
+		a, err := s.et.advance(cov, spec.Index)
+		if err != nil {
+			s.p.putCov(cov)
+			s.p.putScratch(sc)
+			s.fail(fmt.Errorf("isar: streaming frame %d: %w", spec.Index, err))
+			return
+		}
+		anchor = a
+	}
 	select {
 	case s.extra <- struct{}{}:
 		select {
@@ -213,7 +231,7 @@ func (s *Streamer) dispatch(spec FrameSpec) {
 			go func() {
 				defer s.wg.Done()
 				defer func() { <-frameTokens; <-s.extra }()
-				s.runFrame(cov, sc, spec)
+				s.runFrame(cov, sc, spec, anchor)
 			}()
 			return
 		default:
@@ -221,13 +239,13 @@ func (s *Streamer) dispatch(spec FrameSpec) {
 		}
 	default:
 	}
-	s.runFrame(cov, sc, spec)
+	s.runFrame(cov, sc, spec, anchor)
 }
 
 // runFrame executes the fan-out stage for one dispatched frame and
 // returns its covariance matrix and scratch to the processor pools.
-func (s *Streamer) runFrame(cov *cmath.Matrix, sc *frameScratch, spec FrameSpec) {
-	fr, err := s.p.processFrameCov(cov, sc.win, spec, s.music, sc)
+func (s *Streamer) runFrame(cov *cmath.Matrix, sc *frameScratch, spec FrameSpec, anchor *eigAnchor) {
+	fr, err := s.p.processFrameCov(cov, sc.win, spec, s.music, sc, anchor)
 	s.p.putCov(cov)
 	s.p.putScratch(sc)
 	if err != nil {

@@ -59,25 +59,45 @@ func (p *Preamble) ActiveBins() []int {
 }
 
 // Modulate converts a frequency-domain symbol into the time-domain
-// waveform with cyclic prefix.
+// waveform with cyclic prefix. ModulateInto is the allocation-free form
+// for per-symbol loops.
 func Modulate(freq []complex128) ([]complex128, error) {
+	return ModulateInto(make([]complex128, SymbolLen), freq)
+}
+
+// ModulateInto is Modulate writing the SymbolLen-sample waveform into
+// dst, which must not alias freq. The IFFT lands directly in the symbol
+// body and the cyclic prefix is copied from its tail, so a planned
+// transform makes the whole synthesis allocation-free. Returns dst.
+func ModulateInto(dst, freq []complex128) ([]complex128, error) {
 	if len(freq) != NumSubcarriers {
 		return nil, fmt.Errorf("ofdm: Modulate needs %d bins, got %d", NumSubcarriers, len(freq))
 	}
-	td := dsp.IFFT(freq)
-	out := make([]complex128, SymbolLen)
-	copy(out, td[NumSubcarriers-CyclicPrefixLen:])
-	copy(out[CyclicPrefixLen:], td)
-	return out, nil
+	if len(dst) != SymbolLen {
+		return nil, fmt.Errorf("ofdm: ModulateInto needs a %d-sample dst, got %d", SymbolLen, len(dst))
+	}
+	dsp.IFFTInto(dst[CyclicPrefixLen:], freq)
+	copy(dst[:CyclicPrefixLen], dst[SymbolLen-CyclicPrefixLen:])
+	return dst, nil
 }
 
 // Demodulate strips the cyclic prefix and returns the frequency-domain
-// symbol.
+// symbol. DemodulateInto is the allocation-free form.
 func Demodulate(td []complex128) ([]complex128, error) {
+	return DemodulateInto(make([]complex128, NumSubcarriers), td)
+}
+
+// DemodulateInto is Demodulate writing the NumSubcarriers-bin symbol into
+// dst, which must not alias td. Returns dst.
+func DemodulateInto(dst, td []complex128) ([]complex128, error) {
 	if len(td) != SymbolLen {
 		return nil, fmt.Errorf("ofdm: Demodulate needs %d samples, got %d", SymbolLen, len(td))
 	}
-	return dsp.FFT(td[CyclicPrefixLen:]), nil
+	if len(dst) != NumSubcarriers {
+		return nil, fmt.Errorf("ofdm: DemodulateInto needs a %d-bin dst, got %d", NumSubcarriers, len(dst))
+	}
+	dsp.FFTInto(dst, td[CyclicPrefixLen:])
+	return dst, nil
 }
 
 // ApplyChannelFlat applies a per-subcarrier channel h[k] to a

@@ -77,6 +77,48 @@ func TestModulateValidatesLength(t *testing.T) {
 	if _, err := Demodulate(make([]complex128, 10)); err == nil {
 		t.Fatal("wrong-length demodulate accepted")
 	}
+	if _, err := ModulateInto(make([]complex128, 3), NewPreamble(1).Freq); err == nil {
+		t.Fatal("wrong-length ModulateInto dst accepted")
+	}
+	if _, err := DemodulateInto(make([]complex128, 3), make([]complex128, SymbolLen)); err == nil {
+		t.Fatal("wrong-length DemodulateInto dst accepted")
+	}
+}
+
+// TestModulateIntoMatchesModulate: the buffered forms are the delegation
+// targets of Modulate/Demodulate, so they must agree bit for bit — and,
+// once the FFT plans exist, allocate nothing per symbol.
+func TestModulateIntoMatchesModulate(t *testing.T) {
+	p := NewPreamble(3)
+	want, err := Modulate(p.Freq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	td := make([]complex128, SymbolLen)
+	if _, err := ModulateInto(td, p.Freq); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if td[i] != want[i] {
+			t.Fatalf("ModulateInto sample %d: %v, want %v", i, td[i], want[i])
+		}
+	}
+	wantRx, err := Demodulate(td)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx := make([]complex128, NumSubcarriers)
+	if _, err := DemodulateInto(rx, td); err != nil {
+		t.Fatal(err)
+	}
+	for k := range wantRx {
+		if rx[k] != wantRx[k] {
+			t.Fatalf("DemodulateInto bin %d: %v, want %v", k, rx[k], wantRx[k])
+		}
+	}
+	if avg := testing.AllocsPerRun(100, func() { ModulateInto(td, p.Freq); DemodulateInto(rx, td) }); avg != 0 {
+		t.Errorf("planned symbol round trip allocates %.1f per op, want 0", avg)
+	}
 }
 
 func TestChannelEstimationRecovers(t *testing.T) {
