@@ -1,11 +1,11 @@
 # Tier-1 gate, mirrored by .github/workflows/ci.yml.
-.PHONY: check fmt vet staticcheck build examples test smoke bench bench-json
+.PHONY: check fmt vet staticcheck lint build examples test smoke bench bench-json
 
 # Pinned staticcheck release, mirrored by CI. Bump deliberately: a new
 # release can add checks and turn a green tree red.
 STATICCHECK_VERSION = 2025.1.1
 
-check: fmt vet staticcheck build examples test smoke
+check: fmt vet staticcheck lint build examples test smoke
 
 # gofmt gate: fail (and list the offenders) if any file needs formatting.
 fmt:
@@ -26,6 +26,13 @@ staticcheck:
 	else \
 		echo "staticcheck $(STATICCHECK_VERSION) not installed and not fetchable (offline?); skipped — CI runs it pinned"; \
 	fi
+
+# Repo invariant analyzers (internal/lint: clockguard, rngguard,
+# hotpathalloc, intoform — see DESIGN.md §11). Dependency-free, so it
+# runs identically on offline hosts and in CI; exits nonzero on any
+# unannotated violation.
+lint:
+	go run ./cmd/wivi-lint ./...
 
 build:
 	go build ./...

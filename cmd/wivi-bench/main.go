@@ -63,6 +63,8 @@ import (
 	"wivi/internal/isar"
 )
 
+//
+//wivi:wallclock benchmark harness measures real elapsed wall time by design
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("wivi-bench: ")
@@ -244,6 +246,8 @@ func runExperiments(exps []eval.Experiment, opts eval.Options, workers int, emit
 // regression. CI enforces the same bound on the emitted report via jq.
 const streamAllocsPerFrameGate = 64
 
+//
+//wivi:wallclock benchmark harness measures real elapsed wall time by design
 func runStreamMode(out io.Writer, batch int, seed int64, trackDur float64, eigEvery int) (*benchReport, error) {
 	effectiveEig := eigEvery
 	if effectiveEig == 0 {
@@ -410,6 +414,8 @@ func runStreamMode(out io.Writer, batch int, seed int64, trackDur float64, eigEv
 
 // runBatchMode measures the concurrent engine's scene throughput against
 // the sequential baseline on identical scene sets.
+//
+//wivi:wallclock benchmark harness measures real elapsed wall time by design
 func runBatchMode(out io.Writer, batch, workers int, seed int64, trackDur float64) (*benchReport, error) {
 	rep := newBenchReport("batch", workers, batch, trackDur)
 	// frameWorkers 1 builds the truly sequential baseline (no per-frame

@@ -48,6 +48,8 @@ type mixedSample struct {
 
 // runMixedMode submits perMode requests of each kind against one
 // explicit engine and aggregates per-mode figures.
+//
+//wivi:wallclock benchmark harness measures real elapsed wall time by design
 func runMixedMode(out io.Writer, perMode, workers int, seed int64, trackDur float64) (*benchReport, error) {
 	rep := newBenchReport("mixed", workers, perMode, trackDur)
 	fmt.Fprintf(out, "mixed workload: %d track + %d gesture + %d stream requests, %d workers\n",

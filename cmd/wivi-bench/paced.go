@@ -32,6 +32,8 @@ type pacedSample struct {
 
 // runPacedMode benches batch paced streams against trackDur-second
 // captures and fills a benchReport.
+//
+//wivi:wallclock benchmark harness measures real elapsed wall time by design
 func runPacedMode(out io.Writer, batch, workers int, seed int64, trackDur float64) (*benchReport, error) {
 	fmt.Fprintf(out, "paced real-time: %d concurrent paced streams x %.1fs capture, %d workers\n",
 		batch, trackDur, workers)

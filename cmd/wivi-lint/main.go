@@ -1,0 +1,118 @@
+// Command wivi-lint runs the repo's invariant analyzers over the module:
+//
+//	go run ./cmd/wivi-lint ./...
+//
+// Analyzers (see DESIGN.md §11 for the invariant catalog):
+//
+//	clockguard   — wall-clock access only through the core.Clock seam
+//	rngguard     — stdlib RNG imports only inside internal/rng
+//	hotpathalloc — no heap allocation in //wivi:hotpath functions
+//	intoform     — exported Xxx with an XxxInto/XxxAppend sibling delegates
+//
+// The only accepted package pattern is ./... (the whole module rooted at
+// the working directory's go.mod); -list prints the analyzer roster. Output
+// is one "file:line:col: analyzer: message" line per finding, sorted, and
+// the exit status is 1 when anything is reported — the make lint / CI
+// contract.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"wivi/internal/lint/analysis"
+	"wivi/internal/lint/clockguard"
+	"wivi/internal/lint/hotpathalloc"
+	"wivi/internal/lint/intoform"
+	"wivi/internal/lint/load"
+	"wivi/internal/lint/rngguard"
+)
+
+var analyzers = []*analysis.Analyzer{
+	clockguard.Analyzer,
+	rngguard.Analyzer,
+	hotpathalloc.Analyzer,
+	intoform.Analyzer,
+}
+
+func main() {
+	list := flag.Bool("list", false, "print the analyzer roster and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: wivi-lint [-list] ./...\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if args := flag.Args(); len(args) != 1 || args[0] != "./..." {
+		flag.Usage()
+		os.Exit(2)
+	}
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wivi-lint:", err)
+		os.Exit(2)
+	}
+	units, err := load.Packages(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wivi-lint:", err)
+		os.Exit(2)
+	}
+	var lines []string
+	for _, u := range units {
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer: a,
+				Fset:     u.Fset,
+				Files:    u.Files,
+				Pkg:      u.Pkg,
+				Report: func(d analysis.Diagnostic) {
+					p := u.Fset.Position(d.Pos)
+					file := p.Filename
+					if rel, err := filepath.Rel(root, file); err == nil {
+						file = rel
+					}
+					lines = append(lines, fmt.Sprintf("%s:%d:%d: %s: %s", file, p.Line, p.Column, a.Name, d.Message))
+				},
+			}
+			if _, err := a.Run(pass); err != nil {
+				fmt.Fprintf(os.Stderr, "wivi-lint: %s on %s: %v\n", a.Name, u.Pkg.ImportPath, err)
+				os.Exit(2)
+			}
+		}
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+	if len(lines) > 0 {
+		fmt.Fprintf(os.Stderr, "wivi-lint: %d finding(s)\n", len(lines))
+		os.Exit(1)
+	}
+}
+
+// moduleRoot walks up from the working directory to the nearest go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", strings.TrimSpace(dir))
+		}
+		dir = parent
+	}
+}

@@ -81,6 +81,8 @@ func HermitianEig(a *Matrix) (*Eig, error) {
 // HermitianEigInto is HermitianEig computing into ws: no allocation in
 // steady state. The returned Eig aliases the workspace and is valid only
 // until the next call with the same workspace. ws must match a's size.
+//
+//wivi:hotpath
 func HermitianEigInto(a *Matrix, ws *EigWorkspace) (*Eig, error) {
 	n := a.Rows
 	if a.Cols != n {
@@ -128,6 +130,8 @@ func HermitianEigInto(a *Matrix, ws *EigWorkspace) (*Eig, error) {
 // sequences. warm must be unitary for the decomposition to be valid; it
 // is read only, never modified. Passing the identity reproduces the cold
 // path's arithmetic exactly.
+//
+//wivi:hotpath
 func HermitianEigWarmInto(a, warm *Matrix, ws *EigWorkspace) (*Eig, error) {
 	n := a.Rows
 	if a.Cols != n {
@@ -155,7 +159,7 @@ func HermitianEigWarmInto(a, warm *Matrix, ws *EigWorkspace) (*Eig, error) {
 		return nil, ErrNotHermitian
 	}
 	if ws.prod == nil {
-		ws.prod = NewMatrix(n, n)
+		ws.prod = NewMatrix(n, n) //wivi:alloc lazy one-time workspace growth, amortized to zero
 	}
 	// Rotate the problem into the warm basis. ws.vecs is free as a
 	// temporary for the symmetrized input until the final sort overwrites
@@ -183,6 +187,8 @@ func HermitianEigWarmInto(a, warm *Matrix, ws *EigWorkspace) (*Eig, error) {
 // skipThresh are not rotated; 0 (the cold path) skips only exact zeros,
 // which jacobiRotate treats as no-ops anyway, keeping the cold arithmetic
 // bit-identical to the historical kernel.
+//
+//wivi:hotpath
 func (ws *EigWorkspace) sweepAndSort(scale, skipThresh float64) (*Eig, error) {
 	n, w, v := ws.n, ws.w, ws.v
 	tol := jacobiTol * scale
@@ -244,6 +250,8 @@ func (ws *EigWorkspace) sweepAndSort(scale, skipThresh float64) (*Eig, error) {
 
 // symmetrizeInto copies the square matrix a into w and forces exact
 // Hermitian symmetry so rounding in the input cannot bias the rotations.
+//
+//wivi:hotpath
 func symmetrizeInto(w, a *Matrix) {
 	copy(w.Data, a.Data)
 	forceHermitian(w)
@@ -252,6 +260,8 @@ func symmetrizeInto(w, a *Matrix) {
 // forceHermitian replaces w with (w + wᴴ)/2 element by element: real
 // diagonal, conjugate-paired off-diagonals. Idempotent, and exact on an
 // already-Hermitian matrix.
+//
+//wivi:hotpath
 func forceHermitian(w *Matrix) {
 	n := w.Rows
 	for i := 0; i < n; i++ {
@@ -266,6 +276,8 @@ func forceHermitian(w *Matrix) {
 
 // mulInto sets dst = a·b for square matrices of one size. dst must not
 // alias a or b.
+//
+//wivi:hotpath
 func mulInto(dst, a, b *Matrix) {
 	n := a.Rows
 	for i := range dst.Data {
@@ -290,6 +302,8 @@ func mulInto(dst, a, b *Matrix) {
 // and the lower is its conjugate mirror, so dst is exactly Hermitian by
 // construction — the guarantee forceHermitian provides the cold path — at
 // half the flops of a full product. dst must not alias a or b.
+//
+//wivi:hotpath
 func mulConjTransposeHermitianInto(dst, a, b *Matrix) {
 	n := a.Rows
 	for i := 0; i < n; i++ {
@@ -312,6 +326,8 @@ func mulConjTransposeHermitianInto(dst, a, b *Matrix) {
 }
 
 // setIdentity overwrites the square matrix m with the identity.
+//
+//wivi:hotpath
 func setIdentity(m *Matrix) {
 	for i := range m.Data {
 		m.Data[i] = 0
@@ -324,6 +340,8 @@ func setIdentity(m *Matrix) {
 // jacobiRotate applies one two-sided unitary Jacobi rotation zeroing the
 // (p,q) element of the Hermitian working matrix w, accumulating the rotation
 // into v.
+//
+//wivi:hotpath
 func jacobiRotate(w, v *Matrix, p, q int) {
 	apq := w.At(p, q)
 	r := cmplx.Abs(apq)
@@ -398,6 +416,8 @@ func (e *Eig) EigenvectorColumns(k int) []Vector {
 // buf (length >= n*signalDim) and appends them to dst[:0]: no allocation
 // when the caller's buffers are large enough. The returned vectors alias
 // buf and are valid until its next reuse.
+//
+//wivi:hotpath
 func (e *Eig) SignalSubspaceInto(signalDim int, dst []Vector, buf Vector) []Vector {
 	n := len(e.Values)
 	dst = dst[:0]
@@ -424,6 +444,8 @@ func (e *Eig) NoiseSubspace(signalDim int) []Vector {
 // (length >= n*(n-signalDim)) and appending them to dst[:0]: no
 // allocation when the caller's buffers are large enough. The returned
 // vectors alias buf and are valid until its next reuse.
+//
+//wivi:hotpath
 func (e *Eig) NoiseSubspaceInto(signalDim int, dst []Vector, buf Vector) []Vector {
 	n := len(e.Values)
 	dst = dst[:0]

@@ -3,18 +3,19 @@ package cmath
 import (
 	"math"
 	"math/cmplx"
-	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"wivi/internal/rng"
 )
 
 // randHermitian builds a random n x n Hermitian matrix from the given rng.
-func randHermitian(r *rand.Rand, n int) *Matrix {
+func randHermitian(r *rng.Stream, n int) *Matrix {
 	m := NewMatrix(n, n)
 	for i := 0; i < n; i++ {
-		m.Set(i, i, complex(r.NormFloat64(), 0))
+		m.Set(i, i, complex(r.Norm(), 0))
 		for j := i + 1; j < n; j++ {
-			v := complex(r.NormFloat64(), r.NormFloat64())
+			v := complex(r.Norm(), r.Norm())
 			m.Set(i, j, v)
 			m.Set(j, i, cmplx.Conj(v))
 		}
@@ -99,7 +100,7 @@ func TestHermitianEigProperties(t *testing.T) {
 	sizes := []int{1, 2, 3, 5, 8, 13}
 	seed := int64(0)
 	f := func() bool {
-		r := rand.New(rand.NewSource(seed))
+		r := rng.New(seed)
 		seed++
 		n := sizes[r.Intn(len(sizes))]
 		m := randHermitian(r, n)
@@ -158,7 +159,7 @@ func TestHermitianEigProperties(t *testing.T) {
 }
 
 func TestNoiseSubspaceDimensions(t *testing.T) {
-	r := rand.New(rand.NewSource(7))
+	r := rng.New(7)
 	m := randHermitian(r, 6)
 	e, err := HermitianEig(m)
 	if err != nil {
@@ -209,7 +210,7 @@ func TestHermitianEigLowRank(t *testing.T) {
 }
 
 func BenchmarkHermitianEig32(b *testing.B) {
-	r := rand.New(rand.NewSource(1))
+	r := rng.New(1)
 	m := randHermitian(r, 32)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -223,7 +224,7 @@ func BenchmarkHermitianEig32(b *testing.B) {
 // perturbation of it — the adjacent-analysis-window structure the
 // warm-start path is designed for (consecutive covariances differ by a
 // rank-Hop update that is small relative to the shared window).
-func perturbedPair(r *rand.Rand, n int, eps float64) (*Matrix, *Matrix) {
+func perturbedPair(r *rng.Stream, n int, eps float64) (*Matrix, *Matrix) {
 	a := randHermitian(r, n)
 	b := a.Clone()
 	p := randHermitian(r, n)
@@ -242,7 +243,7 @@ func cloneEigBasis(e *Eig) *Matrix { return e.Vectors.Clone() }
 // already diagonal to within the solver tolerance — and reproduce the
 // cold eigenvalues to rounding.
 func TestHermitianEigWarmFromExactBasis(t *testing.T) {
-	r := rand.New(rand.NewSource(42))
+	r := rng.New(42)
 	for _, n := range []int{2, 5, 8, 24, 32} {
 		a := randHermitian(r, n)
 		cold, err := HermitianEig(a)
@@ -276,7 +277,7 @@ func TestHermitianEigWarmFromExactBasis(t *testing.T) {
 // the warm sweep skips pivots below tol/n (see sweepAndSort), a
 // deliberately different — cheaper — rotation sequence.
 func TestHermitianEigWarmFromIdentityMatchesCold(t *testing.T) {
-	r := rand.New(rand.NewSource(7))
+	r := rng.New(7)
 	for _, n := range []int{3, 8, 24} {
 		a := randHermitian(r, n)
 		wsCold := NewEigWorkspace(n)
@@ -309,7 +310,7 @@ func TestHermitianEigWarmFromIdentityMatchesCold(t *testing.T) {
 // decomposition of the same perturbed matrix to solver tolerance, and
 // (3) no more sweeps than the cold path needs.
 func TestHermitianEigWarmPerturbed(t *testing.T) {
-	r := rand.New(rand.NewSource(3))
+	r := rng.New(3)
 	for _, n := range []int{8, 24, 32} {
 		for _, eps := range []float64{1e-6, 1e-3, 1e-1} {
 			a, b := perturbedPair(r, n, eps)
@@ -383,7 +384,7 @@ func assertEigResidual(t *testing.T, a *Matrix, e *Eig, tol float64) {
 // TestHermitianEigWarmRejects covers the warm entry point's validation:
 // mismatched workspace, mismatched basis, non-Hermitian input.
 func TestHermitianEigWarmRejects(t *testing.T) {
-	r := rand.New(rand.NewSource(9))
+	r := rng.New(9)
 	a := randHermitian(r, 4)
 	if _, err := HermitianEigWarmInto(a, Identity(4), NewEigWorkspace(5)); err == nil {
 		t.Fatal("size-mismatched workspace accepted")
@@ -402,7 +403,7 @@ func TestHermitianEigWarmRejects(t *testing.T) {
 // TestHermitianEigWarmZeroMatrix: the zero matrix short-circuits with the
 // warm basis as the (valid) eigenbasis and zero sweeps.
 func TestHermitianEigWarmZeroMatrix(t *testing.T) {
-	r := rand.New(rand.NewSource(13))
+	r := rng.New(13)
 	basis := cloneEigBasis(mustEig(t, randHermitian(r, 4)))
 	ws := NewEigWorkspace(4)
 	e, err := HermitianEigWarmInto(NewMatrix(4, 4), basis, ws)
@@ -438,7 +439,7 @@ func mustEig(t *testing.T, a *Matrix) *Eig {
 // (adjacent analysis windows). The sweeps/op metric is the work the warm
 // start removes.
 func BenchmarkHermitianEig(b *testing.B) {
-	r := rand.New(rand.NewSource(1))
+	r := rng.New(1)
 	const n = 32
 	a, a2 := perturbedPair(r, n, 1e-3)
 	base, err := HermitianEig(a)

@@ -103,6 +103,8 @@ func (m *Matrix) MulVec(v Vector) Vector {
 
 // MulVecInto computes m * v into dst and returns dst: MulVec without the
 // allocation. It panics on dimension mismatch.
+//
+//wivi:hotpath
 func (m *Matrix) MulVecInto(dst, v Vector) Vector {
 	if m.Cols != len(v) || len(dst) != m.Rows {
 		panic(fmt.Sprintf("cmath: MulVecInto dims %d <- %dx%d * %d", len(dst), m.Rows, m.Cols, len(v)))
@@ -120,6 +122,8 @@ func (m *Matrix) MulVecInto(dst, v Vector) Vector {
 
 // AddOuter accumulates the rank-1 update m += v * conj(w)^T in place.
 // It panics on dimension mismatch.
+//
+//wivi:hotpath
 func (m *Matrix) AddOuter(v, w Vector) {
 	if m.Rows != len(v) || m.Cols != len(w) {
 		panic(fmt.Sprintf("cmath: AddOuter dims %dx%d += %d x %d", m.Rows, m.Cols, len(v), len(w)))
@@ -139,6 +143,8 @@ func (m *Matrix) AddOuter(v, w Vector) {
 // SubOuter removes the rank-1 update m -= v * conj(w)^T in place — the
 // inverse of AddOuter, used by the sliding-window covariance to retire
 // departed subarrays. It panics on dimension mismatch.
+//
+//wivi:hotpath
 func (m *Matrix) SubOuter(v, w Vector) {
 	if m.Rows != len(v) || m.Cols != len(w) {
 		panic(fmt.Sprintf("cmath: SubOuter dims %dx%d -= %d x %d", m.Rows, m.Cols, len(v), len(w)))

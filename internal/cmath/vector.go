@@ -28,6 +28,8 @@ func (v Vector) Clone() Vector {
 
 // Dot returns the standard inner product conj(v)·w.
 // It panics if the lengths differ.
+//
+//wivi:hotpath
 func (v Vector) Dot(w Vector) complex128 {
 	if len(v) != len(w) {
 		panic(fmt.Sprintf("cmath: Dot length mismatch %d != %d", len(v), len(w)))

@@ -4,10 +4,11 @@ import (
 	"fmt"
 	"math"
 	"math/cmplx"
-	"math/rand"
 	"sync"
 	"testing"
 	"testing/quick"
+
+	"wivi/internal/rng"
 )
 
 func approxEqualC(a, b complex128, tol float64) bool {
@@ -45,14 +46,14 @@ func TestFFTSingleTone(t *testing.T) {
 }
 
 func TestFFTLinearity(t *testing.T) {
-	r := rand.New(rand.NewSource(3))
+	r := rng.New(3)
 	n := 32
 	a := make([]complex128, n)
 	b := make([]complex128, n)
 	sum := make([]complex128, n)
 	for i := 0; i < n; i++ {
-		a[i] = complex(r.NormFloat64(), r.NormFloat64())
-		b[i] = complex(r.NormFloat64(), r.NormFloat64())
+		a[i] = complex(r.Norm(), r.Norm())
+		b[i] = complex(r.Norm(), r.Norm())
 		sum[i] = a[i] + 2*b[i]
 	}
 	fa, fb, fsum := FFT(a), FFT(b), FFT(sum)
@@ -68,12 +69,12 @@ func TestFFTLinearity(t *testing.T) {
 func TestFFTRoundTripProperty(t *testing.T) {
 	seed := int64(0)
 	f := func() bool {
-		r := rand.New(rand.NewSource(seed))
+		r := rng.New(seed)
 		seed++
 		n := 1 + r.Intn(200)
 		x := make([]complex128, n)
 		for i := range x {
-			x[i] = complex(r.NormFloat64(), r.NormFloat64())
+			x[i] = complex(r.Norm(), r.Norm())
 		}
 		y := IFFT(FFT(x))
 		for i := range x {
@@ -91,12 +92,12 @@ func TestFFTRoundTripProperty(t *testing.T) {
 
 // TestFFTParseval: energy is preserved (up to the 1/N convention).
 func TestFFTParseval(t *testing.T) {
-	r := rand.New(rand.NewSource(11))
+	r := rng.New(11)
 	for _, n := range []int{16, 17, 100, 128} {
 		x := make([]complex128, n)
 		var ex float64
 		for i := range x {
-			x[i] = complex(r.NormFloat64(), r.NormFloat64())
+			x[i] = complex(r.Norm(), r.Norm())
 			ex += real(x[i])*real(x[i]) + imag(x[i])*imag(x[i])
 		}
 		f := FFT(x)
@@ -281,11 +282,11 @@ func bitsReverse64(v uint64) uint64 {
 // inverse, the planned kernels reproduce the unplanned reference bit for
 // bit, so caching changes no downstream output.
 func TestFFTPlannedBitIdenticalToReference(t *testing.T) {
-	r := rand.New(rand.NewSource(5))
+	r := rng.New(5)
 	for _, n := range []int{1, 2, 3, 4, 7, 16, 64, 100, 128, 331, 1000} {
 		x := make([]complex128, n)
 		for i := range x {
-			x[i] = complex(r.NormFloat64(), r.NormFloat64())
+			x[i] = complex(r.Norm(), r.Norm())
 		}
 		// Run each planned transform twice: the first call builds the
 		// plan, the second exercises the cached path. Both must match.
@@ -308,11 +309,11 @@ func TestFFTPlannedBitIdenticalToReference(t *testing.T) {
 // (dst == x) and out-of-place agree bit for bit with the allocating entry
 // points.
 func TestFFTIntoMatchesFFT(t *testing.T) {
-	r := rand.New(rand.NewSource(6))
+	r := rng.New(6)
 	for _, n := range []int{8, 60, 64} {
 		x := make([]complex128, n)
 		for i := range x {
-			x[i] = complex(r.NormFloat64(), r.NormFloat64())
+			x[i] = complex(r.Norm(), r.Norm())
 		}
 		want := FFT(x)
 		dst := make([]complex128, n)
@@ -404,11 +405,11 @@ func TestFFTConcurrent(t *testing.T) {
 // TestPowerSpectrumInto: the buffered form matches PowerSpectrum, allows
 // scratch to alias x, and is allocation-free once planned.
 func TestPowerSpectrumInto(t *testing.T) {
-	r := rand.New(rand.NewSource(8))
+	r := rng.New(8)
 	n := 48
 	x := make([]complex128, n)
 	for i := range x {
-		x[i] = complex(r.NormFloat64(), r.NormFloat64())
+		x[i] = complex(r.Norm(), r.Norm())
 	}
 	want := PowerSpectrum(x)
 	dst := make([]float64, n)
@@ -455,10 +456,10 @@ func TestFFTShiftInto(t *testing.T) {
 }
 
 func BenchmarkFFT1024(b *testing.B) {
-	r := rand.New(rand.NewSource(1))
+	r := rng.New(1)
 	x := make([]complex128, 1024)
 	for i := range x {
-		x[i] = complex(r.NormFloat64(), r.NormFloat64())
+		x[i] = complex(r.Norm(), r.Norm())
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -475,10 +476,10 @@ func BenchmarkFFT(b *testing.B) {
 		name string
 		n    int
 	}{{"radix2-64", 64}, {"radix2-1024", 1024}, {"bluestein-100", 100}, {"bluestein-1000", 1000}} {
-		r := rand.New(rand.NewSource(1))
+		r := rng.New(1)
 		x := make([]complex128, bc.n)
 		for i := range x {
-			x[i] = complex(r.NormFloat64(), r.NormFloat64())
+			x[i] = complex(r.Norm(), r.Norm())
 		}
 		dst := make([]complex128, bc.n)
 		b.Run("planned/"+bc.name, func(b *testing.B) {
@@ -500,10 +501,10 @@ func BenchmarkFFT(b *testing.B) {
 }
 
 func BenchmarkFFTBluestein1000(b *testing.B) {
-	r := rand.New(rand.NewSource(1))
+	r := rng.New(1)
 	x := make([]complex128, 1000)
 	for i := range x {
-		x[i] = complex(r.NormFloat64(), r.NormFloat64())
+		x[i] = complex(r.Norm(), r.Norm())
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

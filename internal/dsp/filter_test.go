@@ -2,9 +2,10 @@ package dsp
 
 import (
 	"math"
-	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"wivi/internal/rng"
 )
 
 func TestConvolveKnown(t *testing.T) {
@@ -34,14 +35,14 @@ func TestConvolveEmpty(t *testing.T) {
 // TestConvolveFFTMatchesDirect: the FFT path must agree with the direct
 // path for large inputs.
 func TestConvolveFFTMatchesDirect(t *testing.T) {
-	r := rand.New(rand.NewSource(5))
+	r := rng.New(5)
 	x := make([]float64, 300)
 	h := make([]float64, 100)
 	for i := range x {
-		x[i] = r.NormFloat64()
+		x[i] = r.Norm()
 	}
 	for i := range h {
-		h[i] = r.NormFloat64()
+		h[i] = r.Norm()
 	}
 	// Direct reference.
 	ref := make([]float64, len(x)+len(h)-1)
@@ -62,15 +63,15 @@ func TestConvolveFFTMatchesDirect(t *testing.T) {
 func TestConvolveCommutative(t *testing.T) {
 	seed := int64(0)
 	f := func() bool {
-		r := rand.New(rand.NewSource(seed))
+		r := rng.New(seed)
 		seed++
 		x := make([]float64, 1+r.Intn(50))
 		h := make([]float64, 1+r.Intn(50))
 		for i := range x {
-			x[i] = r.NormFloat64()
+			x[i] = r.Norm()
 		}
 		for i := range h {
-			h[i] = r.NormFloat64()
+			h[i] = r.Norm()
 		}
 		a := Convolve(x, h)
 		b := Convolve(h, x)
@@ -133,10 +134,10 @@ func TestMovingAverageConstancy(t *testing.T) {
 }
 
 func TestMovingAverageReducesVariance(t *testing.T) {
-	r := rand.New(rand.NewSource(9))
+	r := rng.New(9)
 	x := make([]float64, 500)
 	for i := range x {
-		x[i] = r.NormFloat64()
+		x[i] = r.Norm()
 	}
 	sm := MovingAverage(x, 9)
 	if Variance(sm) >= Variance(x) {

@@ -40,6 +40,8 @@ func Median(x []float64) float64 { return Percentile(x, 50) }
 // MedianBuf is Median sorting a copy of x inside buf (cap >= len(x)):
 // no allocation when the caller reuses the buffer. It returns the same
 // value as Median for every input.
+//
+//wivi:hotpath
 func MedianBuf(x, buf []float64) float64 {
 	return PercentileBuf(x, 50, buf)
 }
@@ -54,6 +56,8 @@ func Percentile(x []float64, p float64) float64 {
 // PercentileBuf is Percentile with the sort scratch provided by the
 // caller (cap >= len(x)) — the shared kernel behind Percentile and
 // MedianBuf, so buffered and unbuffered calls agree bit for bit.
+//
+//wivi:hotpath
 func PercentileBuf(x []float64, p float64, buf []float64) float64 {
 	if len(x) == 0 {
 		return 0

@@ -2,10 +2,11 @@ package dsp
 
 import (
 	"math"
-	"math/rand"
 	"sort"
 	"testing"
 	"testing/quick"
+
+	"wivi/internal/rng"
 )
 
 func TestMeanVarianceKnown(t *testing.T) {
@@ -98,12 +99,12 @@ func TestCDFBasics(t *testing.T) {
 func TestCDFMonotoneProperty(t *testing.T) {
 	seed := int64(0)
 	f := func() bool {
-		r := rand.New(rand.NewSource(seed))
+		r := rng.New(seed)
 		seed++
 		n := 1 + r.Intn(100)
 		samples := make([]float64, n)
 		for i := range samples {
-			samples[i] = r.NormFloat64() * 10
+			samples[i] = r.Norm() * 10
 		}
 		c := NewCDF(samples)
 		xs, ps := c.Points()

@@ -2,9 +2,10 @@ package geom
 
 import (
 	"math"
-	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"wivi/internal/rng"
 )
 
 func TestPointOps(t *testing.T) {
@@ -57,9 +58,9 @@ func TestVecRotate(t *testing.T) {
 func TestRotatePreservesLength(t *testing.T) {
 	seed := int64(0)
 	f := func() bool {
-		r := rand.New(rand.NewSource(seed))
+		r := rng.New(seed)
 		seed++
-		v := Vec{r.NormFloat64() * 10, r.NormFloat64() * 10}
+		v := Vec{r.Norm() * 10, r.Norm() * 10}
 		th := r.Float64() * 2 * math.Pi
 		return math.Abs(v.Rotate(th).Len()-v.Len()) < 1e-9
 	}

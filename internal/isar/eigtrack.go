@@ -34,7 +34,6 @@ package isar
 
 import (
 	"sync/atomic"
-	"time"
 
 	"wivi/internal/cmath"
 )
@@ -103,7 +102,7 @@ func (t *eigTracker) advance(cov *cmath.Matrix, idx int) (*eigAnchor, error) {
 		return nil, nil
 	}
 	if t.anchor == nil || idx%t.every == 0 {
-		start := time.Now()
+		start := kernelNow()
 		eig, err := cmath.HermitianEigInto(cov, t.ws)
 		if err != nil {
 			return nil, err
@@ -114,7 +113,7 @@ func (t *eigTracker) advance(cov *cmath.Matrix, idx int) (*eigAnchor, error) {
 		t.anchor = a
 		kernelStats.keyframes.Add(1)
 		kernelStats.eigSweeps.Add(int64(t.ws.LastSweeps))
-		kernelStats.eigNs.Add(time.Since(start).Nanoseconds())
+		kernelStats.eigNs.Add(kernelNow().Sub(start).Nanoseconds())
 	}
 	return t.anchor, nil
 }

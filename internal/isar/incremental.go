@@ -22,7 +22,6 @@ package isar
 
 import (
 	"fmt"
-	"time"
 
 	"wivi/internal/cmath"
 )
@@ -71,8 +70,10 @@ func newCovTracker(p *Processor) *covTracker {
 // taken only when frame idx-1 was the previous advance; any gap — or a
 // Hop so large that consecutive windows share no subarray — falls back to
 // the from-scratch rebuild.
+//
+//wivi:hotpath
 func (t *covTracker) advanceInto(dst *cmath.Matrix, window []complex128, idx int) {
-	covStart := time.Now()
+	covStart := kernelNow()
 	w := t.p.cfg.Subarray
 	win := t.p.cfg.Window
 	hop := t.p.cfg.Hop
@@ -107,7 +108,7 @@ func (t *covTracker) advanceInto(dst *cmath.Matrix, window []complex128, idx int
 	for i, v := range t.sum.Data {
 		dst.Data[i] = v * scale
 	}
-	kernelStats.covNs.Add(time.Since(covStart).Nanoseconds())
+	kernelStats.covNs.Add(kernelNow().Sub(covStart).Nanoseconds())
 }
 
 // frameScratch bundles every reusable buffer of the per-frame stage:
@@ -167,6 +168,8 @@ func (p *Processor) initPools() {
 // frames between keyframes are numerically equivalent within the Jacobi
 // convergence tolerance. The only per-call allocations are the emitted
 // Frame's Power and Bartlett slices.
+//
+//wivi:hotpath
 func (p *Processor) processFrameCov(cov *cmath.Matrix, window []complex128, spec FrameSpec, music bool, sc *frameScratch, anchor *eigAnchor) (Frame, error) {
 	w := p.cfg.Window
 	fr := Frame{
@@ -174,19 +177,19 @@ func (p *Processor) processFrameCov(cov *cmath.Matrix, window []complex128, spec
 		Time:        (float64(spec.Start) + float64(w)/2) * p.cfg.SampleT,
 		MotionPower: motionPower(window),
 		SignalDim:   1,
-		Power:       make([]float64, len(p.thetasDeg)),
-		Bartlett:    make([]float64, len(p.thetasDeg)),
+		Power:       make([]float64, len(p.thetasDeg)), //wivi:alloc emitted Frame owns its Power/Bartlett slices
+		Bartlett:    make([]float64, len(p.thetasDeg)), //wivi:alloc emitted Frame owns its Power/Bartlett slices
 	}
 	kernelStats.frames.Add(1)
-	specStart := time.Now()
+	specStart := kernelNow()
 	p.bartlettSpectrumInto(cov, fr.Bartlett, sc.mulTmp)
-	kernelStats.specNs.Add(time.Since(specStart).Nanoseconds())
+	kernelStats.specNs.Add(kernelNow().Sub(specStart).Nanoseconds())
 	if music {
 		var (
 			eig *cmath.Eig
 			err error
 		)
-		eigStart := time.Now()
+		eigStart := kernelNow()
 		switch {
 		case anchor != nil && anchor.idx == spec.Index:
 			// This frame is the cohort keyframe: the tracker already ran
@@ -207,16 +210,16 @@ func (p *Processor) processFrameCov(cov *cmath.Matrix, window []complex128, spec
 		if err != nil {
 			return Frame{}, fmt.Errorf("isar: frame at sample %d: %w", spec.Start, err)
 		}
-		kernelStats.eigNs.Add(time.Since(eigStart).Nanoseconds())
+		kernelStats.eigNs.Add(kernelNow().Sub(eigStart).Nanoseconds())
 		fr.SignalDim = p.estimateSignalDim(eig.Values, sc.medBuf)
 		sc.sig = eig.SignalSubspaceInto(fr.SignalDim, sc.sig, sc.sigBuf)
-		specStart = time.Now()
+		specStart = kernelNow()
 		p.musicSpectrumComplementInto(sc.sig, fr.Power)
-		kernelStats.specNs.Add(time.Since(specStart).Nanoseconds())
+		kernelStats.specNs.Add(kernelNow().Sub(specStart).Nanoseconds())
 	} else {
-		specStart = time.Now()
+		specStart = kernelNow()
 		err := p.beamformSpectrumInto(window, fr.Power)
-		kernelStats.specNs.Add(time.Since(specStart).Nanoseconds())
+		kernelStats.specNs.Add(kernelNow().Sub(specStart).Nanoseconds())
 		if err != nil {
 			return Frame{}, err
 		}

@@ -209,6 +209,8 @@ func (p *Processor) EstimateSignalDim(values []float64) int {
 
 // estimateSignalDim is EstimateSignalDim with the median's sort scratch
 // provided by the caller (cap >= len(values)).
+//
+//wivi:hotpath
 func (p *Processor) estimateSignalDim(values, medBuf []float64) int {
 	n := len(values)
 	med := dsp.MedianBuf(values, medBuf)
@@ -246,6 +248,8 @@ func (p *Processor) MUSICSpectrum(noise []cmath.Vector) []float64 {
 // the angle-grid size). It is the direct noise-basis form of Eq. 5.3 —
 // kept as the readable reference; the frame kernel evaluates the same
 // pseudospectrum through musicSpectrumComplementInto.
+//
+//wivi:hotpath
 func (p *Processor) musicSpectrumInto(noise []cmath.Vector, out []float64) {
 	for ti, steer := range p.steerSub {
 		var denom float64
@@ -281,6 +285,8 @@ func (p *Processor) musicSpectrumInto(noise []cmath.Vector, out []float64) {
 // tolerance. The 1e-18 clamp carries over unchanged and additionally
 // absorbs any tiny negative complement when a steering vector lies
 // entirely in the signal subspace.
+//
+//wivi:hotpath
 func (p *Processor) musicSpectrumComplementInto(signal []cmath.Vector, out []float64) {
 	n := float64(p.cfg.Subarray)
 	for ti, steer := range p.steerSub {
@@ -328,6 +334,8 @@ func (p *Processor) BartlettSpectrum(r *cmath.Matrix) []float64 {
 // only the summation order changes (~1e-14 relative, far below the 1e-6
 // golden tolerance). The result is real by symmetry; the <0 clamp guards
 // rounding at angles where the true power is ~0, as before.
+//
+//wivi:hotpath
 func (p *Processor) bartlettSpectrumInto(r *cmath.Matrix, out []float64, tmp cmath.Vector) {
 	n := p.cfg.Subarray
 	for d := 0; d < n; d++ {
@@ -363,6 +371,8 @@ func (p *Processor) BeamformSpectrum(window []complex128) ([]float64, error) {
 }
 
 // beamformSpectrumInto is BeamformSpectrum computing into out.
+//
+//wivi:hotpath
 func (p *Processor) beamformSpectrumInto(window []complex128, out []float64) error {
 	if len(window) < p.cfg.Window {
 		return fmt.Errorf("isar: window of %d samples shorter than Window %d", len(window), p.cfg.Window)

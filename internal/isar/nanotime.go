@@ -1,0 +1,15 @@
+package isar
+
+import "time"
+
+// kernelNow is the clock behind the kernel stage timers (kernelStats'
+// covNs/eigNs/specNs telemetry). The timers run inside //wivi:hotpath
+// per-frame kernels where threading a core.Clock through every call would
+// widen the hot signatures for a value that never feeds the data path, so
+// the seam is a package variable instead: production keeps the wall clock,
+// and determinism tests swap in a scripted clock to assert exact stage
+// accounting (see nanotime_test.go). This is the only sanctioned wall-clock
+// read in the package.
+//
+//wivi:wallclock stage-timer telemetry only; swapped out by tests, never feeds the data path
+var kernelNow = time.Now

@@ -1,0 +1,68 @@
+package isar
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestScriptedKernelClockExactStageAccounting pins the kernelNow seam: with
+// a scripted clock that advances exactly 1ms per reading, the stage timers
+// become pure call counters, so the kernelStats nanosecond totals are
+// exactly derivable from the frame and keyframe counts. Every stage timer
+// brackets its stage with two readings and no stage nests inside another,
+// so on a serial (workers=1) MUSIC run over N frames with K keyframes:
+//
+//	CovNs  = N  ms  (one advanceInto bracket per frame)
+//	EigNs  = (N+K) ms  (one per-frame eig bracket + one per keyframe)
+//	SpecNs = 2N ms  (Bartlett bracket + MUSIC bracket per frame)
+//
+// Any drift — a timer reading added, dropped, or nested — changes these
+// exact equalities.
+func TestScriptedKernelClockExactStageAccounting(t *testing.T) {
+	old := kernelNow
+	defer func() { kernelNow = old }()
+	base := time.Unix(0, 0)
+	ticks := 0
+	kernelNow = func() time.Time {
+		ticks++
+		return base.Add(time.Duration(ticks) * time.Millisecond)
+	}
+
+	cfg := goldenConfig()
+	p, err := NewProcessor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := goldenChannel(cfg, cfg.Window+80*cfg.Hop)
+	specs := p.FrameSpecs(len(h))
+	if len(specs) < 2*DefaultEigKeyframeEvery {
+		t.Fatalf("only %d specs; test needs several keyframe cohorts", len(specs))
+	}
+
+	ResetKernelStats()
+	if _, err := p.computeFrames(context.Background(), h, specs, true, 1); err != nil {
+		t.Fatal(err)
+	}
+	st := ReadKernelStats()
+
+	n := int64(len(specs))
+	every := int64(DefaultEigKeyframeEvery)
+	k := (n + every - 1) / every // keyframes land on Index%every == 0
+	ms := time.Millisecond.Nanoseconds()
+	if st.Frames != n {
+		t.Fatalf("Frames = %d, want %d", st.Frames, n)
+	}
+	if st.Keyframes != k {
+		t.Fatalf("Keyframes = %d, want %d", st.Keyframes, k)
+	}
+	if st.CovNs != n*ms {
+		t.Errorf("CovNs = %d, want exactly %d (N frames x 1ms)", st.CovNs, n*ms)
+	}
+	if st.EigNs != (n+k)*ms {
+		t.Errorf("EigNs = %d, want exactly %d ((N+K) brackets x 1ms)", st.EigNs, (n+k)*ms)
+	}
+	if st.SpecNs != 2*n*ms {
+		t.Errorf("SpecNs = %d, want exactly %d (2N brackets x 1ms)", st.SpecNs, 2*n*ms)
+	}
+}

@@ -1,0 +1,81 @@
+// Package analysis is a deliberately small, dependency-free reimplementation
+// of the golang.org/x/tools/go/analysis driver surface — just enough of the
+// Analyzer/Pass/Diagnostic shape for the repo's own invariant checkers
+// (clockguard, rngguard, hotpathalloc, intoform) and the cmd/wivi-lint
+// multichecker.
+//
+// Why not the real x/tools module: the repo's contract is to build with the
+// Go toolchain alone (go.mod has zero requirements, and the CI/dev
+// containers may be fully offline). The types here mirror x/tools
+// field-for-field where they overlap, so if the repo ever grows a vendored
+// x/tools, each analyzer ports by changing one import line: Run keeps its
+// signature, Pass keeps Fset/Files/Report, Diagnostic keeps Pos/Message.
+//
+// What is intentionally absent: Facts, Requires/ResultOf plumbing, and
+// type information. Every wivi analyzer is syntactic by design — the
+// invariants they enforce (no direct wall-clock reads, no stray RNG
+// imports, no allocations in annotated functions, Into-form delegation)
+// are all decidable from the AST plus the file's import table, which also
+// keeps a full ./... lint run under a second with no type-checking.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+)
+
+// Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and the multichecker's
+	// output. By convention it is a single lowercase word.
+	Name string
+	// Doc is the analyzer's one-paragraph contract: the invariant it
+	// enforces and the annotation that waives it, if any.
+	Doc string
+	// Run executes the analyzer over one package. The result value is
+	// unused by the driver (kept for x/tools signature compatibility).
+	Run func(*Pass) (any, error)
+}
+
+// Package is the loader's metadata for one package unit. In-package test
+// files belong to the same unit as the package they test; an external
+// foo_test package is its own unit with ForTest set.
+type Package struct {
+	// ImportPath is the module-qualified path, e.g. "wivi/internal/isar".
+	ImportPath string
+	// Name is the package clause name.
+	Name string
+	// Dir is the absolute directory the files were read from.
+	Dir string
+	// ForTest marks an external _test package unit.
+	ForTest bool
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the parsed files of the package unit, comments included,
+	// in deterministic (sorted filename) order.
+	Files []*ast.File
+	Pkg   *Package
+	// Report delivers one diagnostic to the driver.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Filename returns the name of the file containing pos.
+func (p *Pass) Filename(pos token.Pos) string {
+	return p.Fset.Position(pos).Filename
+}

@@ -1,0 +1,149 @@
+// Package analysistest runs an analyzer over testdata fixture packages and
+// checks its diagnostics against // want comments — the same fixture
+// convention as golang.org/x/tools/go/analysis/analysistest, implemented on
+// the repo's dependency-free lint stack (see internal/lint/analysis).
+//
+// A fixture line that should be flagged carries a trailing comment of one
+// or more quoted regular expressions:
+//
+//	t := time.Now() // want `clockguard: direct time\.Now`
+//	x := bad()      // want "first" "second"
+//
+// Each diagnostic must match an unconsumed want on its exact (file, line),
+// and every want must be consumed — unexpected and missing diagnostics are
+// both test failures, so fixtures pin the analyzer's behavior from both
+// sides (flagged and allowed cases).
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"wivi/internal/lint/analysis"
+	"wivi/internal/lint/load"
+)
+
+// Run analyzes each fixture package dir testdata/src/<pkg> with a and
+// reports mismatches against the fixtures' want comments on t.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, pkg := range pkgs {
+		dir := filepath.Join(testdata, "src", filepath.FromSlash(pkg))
+		units, err := load.Dir(dir, pkg)
+		if err != nil {
+			t.Errorf("%s: loading fixture: %v", pkg, err)
+			continue
+		}
+		if len(units) == 0 {
+			t.Errorf("%s: fixture package has no Go files", pkg)
+			continue
+		}
+		for _, u := range units {
+			runUnit(t, a, u)
+		}
+	}
+}
+
+type want struct {
+	rx       *regexp.Regexp
+	consumed bool
+}
+
+func runUnit(t *testing.T, a *analysis.Analyzer, u *load.Unit) {
+	t.Helper()
+	wants := map[string][]*want{} // "file:line" -> expectations
+	for _, f := range u.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				rest, ok := strings.CutPrefix(text, "want ")
+				if !ok {
+					continue
+				}
+				key := lineKey(u.Fset, c.Pos())
+				ws, err := parseWants(rest)
+				if err != nil {
+					t.Errorf("%s: bad want comment: %v", key, err)
+					continue
+				}
+				wants[key] = append(wants[key], ws...)
+			}
+		}
+	}
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer: a,
+		Fset:     u.Fset,
+		Files:    u.Files,
+		Pkg:      u.Pkg,
+		Report:   func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Errorf("%s: analyzer %s failed: %v", u.Pkg.ImportPath, a.Name, err)
+		return
+	}
+	for _, d := range diags {
+		key := lineKey(u.Fset, d.Pos)
+		matched := false
+		for _, w := range wants[key] {
+			if !w.consumed && w.rx.MatchString(d.Message) {
+				w.consumed = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", key, d.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.consumed {
+				t.Errorf("%s: expected diagnostic matching %q, got none", key, w.rx)
+			}
+		}
+	}
+}
+
+// parseWants extracts the quoted regexes of one want comment. Both
+// double-quoted and backquoted forms are accepted.
+func parseWants(s string) ([]*want, error) {
+	var out []*want
+	s = strings.TrimSpace(s)
+	for s != "" {
+		var raw string
+		switch s[0] {
+		case '"':
+			end := strings.Index(s[1:], `"`)
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated %q", s)
+			}
+			raw, s = s[1:1+end], s[2+end:]
+		case '`':
+			end := strings.Index(s[1:], "`")
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated %q", s)
+			}
+			raw, s = s[1:1+end], s[2+end:]
+		default:
+			return nil, fmt.Errorf("expected quoted regexp at %q", s)
+		}
+		rx, err := regexp.Compile(raw)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, &want{rx: rx})
+		s = strings.TrimSpace(s)
+	}
+	return out, nil
+}
+
+func lineKey(fset *token.FileSet, pos token.Pos) string {
+	p := fset.Position(pos)
+	return fmt.Sprintf("%s:%d", filepath.Base(p.Filename), p.Line)
+}

@@ -1,0 +1,152 @@
+// Package annot parses the repo's //wivi: annotation grammar — the escape
+// hatches and opt-ins the lint analyzers honor. The grammar (catalogued in
+// DESIGN.md §11) is directive-style, like //go:build — no space after the
+// slashes, a marker, then a mandatory free-text reason for the waiver
+// markers:
+//
+//	//wivi:hotpath
+//	    Doc-comment marker on a function declaration: opts the function
+//	    into hotpathalloc's no-allocation checking. No reason required —
+//	    the function itself is the statement.
+//	//wivi:wallclock <reason>
+//	    Waives clockguard for deliberate wall-clock access (telemetry,
+//	    benchmark timing). Placement: the doc comment of the enclosing
+//	    declaration, the offending line itself, or the line directly above.
+//	//wivi:alloc <reason>
+//	    Waives hotpathalloc for one sanctioned allocation (or one call to
+//	    an allocating sibling) inside a //wivi:hotpath function. Placement:
+//	    the offending line or the line directly above.
+//	//wivi:rand <reason>
+//	    Waives rngguard for a deliberate math/rand or crypto/rand import.
+//	    Placement: the import line or the line directly above.
+//
+// A waiver marker with no reason is itself a diagnostic: the analyzers
+// report it instead of honoring it, so annotations cannot silently decay
+// into unexplained suppressions.
+package annot
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Markers recognized by the analyzers.
+const (
+	Hotpath   = "wivi:hotpath"
+	Wallclock = "wivi:wallclock"
+	Alloc     = "wivi:alloc"
+	Rand      = "wivi:rand"
+)
+
+// Annotation is one parsed //wivi: marker occurrence.
+type Annotation struct {
+	// Pos is the comment's position.
+	Pos token.Pos
+	// Line is the comment's source line.
+	Line int
+	// Reason is the free text after the marker ("" when absent).
+	Reason string
+}
+
+// Index holds every occurrence of one marker in one file, plus the source
+// ranges of declarations whose doc comment carries it.
+type Index struct {
+	fset    *token.FileSet
+	byLine  map[int]Annotation
+	decls   []declRange
+	matches []Annotation
+}
+
+type declRange struct {
+	from, to token.Pos
+	ann      Annotation
+}
+
+// NewIndex scans file for marker occurrences.
+func NewIndex(fset *token.FileSet, file *ast.File, marker string) *Index {
+	ix := &Index{fset: fset, byLine: map[int]Annotation{}}
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if ann, ok := parse(c, marker); ok {
+				ann.Line = fset.Position(c.Pos()).Line
+				ix.byLine[ann.Line] = ann
+				ix.matches = append(ix.matches, ann)
+			}
+		}
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		var doc *ast.CommentGroup
+		switch d := n.(type) {
+		case *ast.FuncDecl:
+			doc = d.Doc
+		case *ast.GenDecl:
+			doc = d.Doc
+		default:
+			return true
+		}
+		if doc == nil {
+			return true
+		}
+		for _, c := range doc.List {
+			if ann, ok := parse(c, marker); ok {
+				ann.Line = fset.Position(c.Pos()).Line
+				ix.decls = append(ix.decls, declRange{from: n.Pos(), to: n.End(), ann: ann})
+			}
+		}
+		return true
+	})
+	return ix
+}
+
+// parse matches a single comment against the marker: "//" (optionally
+// spaced), the marker token, then end-of-comment or a space-separated
+// reason.
+func parse(c *ast.Comment, marker string) (Annotation, bool) {
+	text := strings.TrimPrefix(c.Text, "//")
+	text = strings.TrimLeft(text, " \t")
+	if !strings.HasPrefix(text, marker) {
+		return Annotation{}, false
+	}
+	rest := text[len(marker):]
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return Annotation{}, false // longer identifier, not this marker
+	}
+	return Annotation{Pos: c.Pos(), Reason: strings.TrimSpace(rest)}, true
+}
+
+// Covering returns the annotation that covers pos: a line-level annotation
+// on pos's own line or the line directly above, or a doc-level annotation
+// on an enclosing declaration. Line placement wins over doc placement.
+func (ix *Index) Covering(pos token.Pos) (Annotation, bool) {
+	line := ix.fset.Position(pos).Line
+	if ann, ok := ix.byLine[line]; ok {
+		return ann, true
+	}
+	if ann, ok := ix.byLine[line-1]; ok {
+		return ann, true
+	}
+	for _, d := range ix.decls {
+		if d.from <= pos && pos < d.to {
+			return d.ann, true
+		}
+	}
+	return Annotation{}, false
+}
+
+// All returns every occurrence of the marker in the file (line-level and
+// doc-level alike), for meta-checks over the annotation inventory.
+func (ix *Index) All() []Annotation { return ix.matches }
+
+// FuncHas reports whether fn's doc comment carries the marker.
+func FuncHas(fn *ast.FuncDecl, marker string) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if _, ok := parse(c, marker); ok {
+			return true
+		}
+	}
+	return false
+}

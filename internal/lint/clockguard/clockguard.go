@@ -1,0 +1,100 @@
+// Package clockguard enforces the core.Clock seam (DESIGN.md §8, §11): no
+// production code reads the wall clock directly. PR 5 built the Clock
+// injection seam so pacing and latency accounting run against RealClock in
+// production and FakeClock in tests; a single stray time.Now re-couples a
+// latency figure to the host scheduler and silently breaks the
+// deterministic-latency tests. This analyzer makes that a build failure
+// instead of a review catch.
+//
+// Banned outside internal/core/clock.go: references to time.Now, Sleep,
+// Since, Until, After, AfterFunc, NewTimer, NewTicker and Tick — reads of
+// or waits on the process wall clock. References, not just calls: binding
+// `var now = time.Now` escapes a call-site check but pierces the seam just
+// the same. time.Duration/time.Time and the unit constants stay free.
+//
+// Deliberate wall-clock telemetry (benchmark harnesses, stage timers whose
+// output never feeds the data path) carries //wivi:wallclock <reason> —
+// on the offending line, the line above, or the enclosing declaration's
+// doc comment. An annotation without a reason is reported, not honored.
+//
+// _test.go files are exempt: tests legitimately poll real deadlines and
+// sleep around goroutine schedules, and a test's clock use cannot leak
+// nondeterminism into production output.
+package clockguard
+
+import (
+	"go/ast"
+	"strings"
+
+	"wivi/internal/lint/analysis"
+	"wivi/internal/lint/annot"
+)
+
+// Analyzer is the clockguard instance.
+var Analyzer = &analysis.Analyzer{
+	Name: "clockguard",
+	Doc:  "forbid direct wall-clock access outside the core.Clock seam (escape: //wivi:wallclock <reason>)",
+	Run:  run,
+}
+
+// seamFile is the one file allowed to touch the wall clock: the Clock
+// seam's own RealClock implementation.
+const seamFile = "internal/core/clock.go"
+
+// banned are the time package members that read or wait on the wall clock.
+var banned = map[string]bool{
+	"Now": true, "Sleep": true, "Since": true, "Until": true,
+	"After": true, "AfterFunc": true, "NewTimer": true, "NewTicker": true,
+	"Tick": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		name := pass.Filename(file.Pos())
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		if strings.HasSuffix(strings.ReplaceAll(name, "\\", "/"), seamFile) {
+			continue
+		}
+		timeNames := map[string]bool{}
+		for _, imp := range file.Imports {
+			if imp.Path.Value != `"time"` {
+				continue
+			}
+			switch {
+			case imp.Name == nil:
+				timeNames["time"] = true
+			case imp.Name.Name == ".":
+				pass.Reportf(imp.Pos(), "dot-import of time defeats clockguard; import it qualified")
+			case imp.Name.Name == "_":
+				// Blank import references nothing.
+			default:
+				timeNames[imp.Name.Name] = true
+			}
+		}
+		if len(timeNames) == 0 {
+			continue
+		}
+		ix := annot.NewIndex(pass.Fset, file, annot.Wallclock)
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok || !timeNames[id.Name] || !banned[sel.Sel.Name] {
+				return true
+			}
+			if ann, ok := ix.Covering(sel.Pos()); ok {
+				if ann.Reason == "" {
+					pass.Reportf(sel.Pos(), "//wivi:wallclock needs a reason: say why this %s.%s must bypass the core.Clock seam", id.Name, sel.Sel.Name)
+				}
+				return true
+			}
+			pass.Reportf(sel.Pos(), "direct %s.%s bypasses the core.Clock seam; inject a core.Clock or annotate //wivi:wallclock <reason>", id.Name, sel.Sel.Name)
+			return true
+		})
+	}
+	return nil, nil
+}

@@ -1,0 +1,12 @@
+package clockguard_test
+
+import (
+	"testing"
+
+	"wivi/internal/lint/analysistest"
+	"wivi/internal/lint/clockguard"
+)
+
+func TestClockguard(t *testing.T) {
+	analysistest.Run(t, "testdata", clockguard.Analyzer, "a", "wivi/internal/core")
+}

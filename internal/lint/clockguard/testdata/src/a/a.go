@@ -1,0 +1,44 @@
+// Package a exercises clockguard: flagged wall-clock references, waived
+// references, and allowed time package usage.
+package a
+
+import (
+	"time"
+	tm "time"
+)
+
+var when = time.Now // want `direct time\.Now bypasses`
+
+const frame = 10 * time.Millisecond // allowed: duration constants are not clock reads
+
+func bad() {
+	t := time.Now()   // want `direct time\.Now bypasses`
+	time.Sleep(frame) // want `direct time\.Sleep bypasses`
+	_ = time.Since(t) // want `direct time\.Since bypasses`
+	_ = tm.Now()      // want `direct tm\.Now bypasses`
+	select {
+	case <-time.After(frame): // want `direct time\.After bypasses`
+	case <-time.NewTimer(frame).C: // want `direct time\.NewTimer bypasses`
+	}
+}
+
+// docWaived has a declaration-level waiver covering its whole body.
+//
+//wivi:wallclock stage timer telemetry only, never feeds the data path
+func docWaived() time.Time {
+	return time.Now()
+}
+
+func lineWaived() time.Time {
+	//wivi:wallclock telemetry only
+	a := time.Now()
+	b := time.Now() //wivi:wallclock telemetry only
+	c := a.Add(frame)
+	_ = time.Until(b) // want `direct time\.Until bypasses`
+	return c
+}
+
+func badWaiver() time.Time {
+	//wivi:wallclock
+	return time.Now() // want `//wivi:wallclock needs a reason`
+}

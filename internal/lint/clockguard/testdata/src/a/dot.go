@@ -1,0 +1,5 @@
+package a
+
+import . "time" // want `dot-import of time defeats clockguard`
+
+var _ = Millisecond

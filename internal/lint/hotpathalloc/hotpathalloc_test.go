@@ -1,0 +1,12 @@
+package hotpathalloc_test
+
+import (
+	"testing"
+
+	"wivi/internal/lint/analysistest"
+	"wivi/internal/lint/hotpathalloc"
+)
+
+func TestHotpathalloc(t *testing.T) {
+	analysistest.Run(t, "testdata", hotpathalloc.Analyzer, "a")
+}

@@ -1,0 +1,86 @@
+// Package a exercises hotpathalloc: every allocation class inside an
+// annotated function, caller-owned append destinations, waivers, and the
+// allocating-sibling check.
+package a
+
+import "sort"
+
+type buf struct{ data []float64 }
+
+// frame exercises every direct-allocation class.
+//
+//wivi:hotpath
+func frame(dst []float64, b *buf) []float64 {
+	s := make([]float64, 4) // want `make in //wivi:hotpath function frame`
+	p := new(buf)           // want `new in //wivi:hotpath function frame`
+	q := &buf{}             // want `&composite literal in //wivi:hotpath function frame`
+	l := []int{1, 2}        // want `slice literal in //wivi:hotpath function frame`
+	m := map[int]int{}      // want `map literal in //wivi:hotpath function frame`
+	f := func() {}          // want `func literal in //wivi:hotpath function frame`
+	s = append(s, 1)        // want `append growing s in //wivi:hotpath function frame`
+
+	dst = append(dst, 1)       // allowed: dst is a caller-owned parameter
+	b.data = append(b.data, 1) // allowed: roots in the parameter b
+	v := buf{}                 // allowed: struct value stays off the heap
+	arr := [4]float64{1, 2}    // allowed: fixed-size array value
+	_, _, _, _, _, _ = p, q, l, m, v, arr
+	f()
+	return dst
+}
+
+// waivers exercises the //wivi:alloc escape hatch.
+//
+//wivi:hotpath
+func waivers(dst []float64) {
+	//wivi:alloc result header allocated once per output by contract
+	out := make([]float64, len(dst))
+	inline := make([]float64, 1) //wivi:alloc lazy warm-up growth, amortized to zero
+	//wivi:alloc
+	bad := make([]float64, 1) // want `//wivi:alloc needs a reason`
+	_, _, _ = out, inline, bad
+}
+
+// calls exercises the sibling-call classification.
+//
+//wivi:hotpath
+func calls(dst []float64, b *buf) {
+	helperClean(dst)   // allowed: callee does not allocate
+	helperAlloc()      // want `call to helperAlloc, which allocates and is not //wivi:hotpath`
+	helperHot(dst)     // allowed: callee is itself //wivi:hotpath
+	b.grow(1)          // allowed: annotated method callee
+	sort.Float64s(dst) // allowed: cross-package calls are out of scope
+	//wivi:alloc cold slow path, taken only on reconfiguration
+	helperAlloc() // allowed: waived call site
+}
+
+func helperClean(x []float64) {
+	for i := range x {
+		x[i] = 0
+	}
+}
+
+func helperAlloc() []float64 { return make([]float64, 8) }
+
+// helperHot is annotated, so its own body is checked directly rather than
+// via callers.
+//
+//wivi:hotpath
+func helperHot(x []float64) {
+	if len(x) > 0 {
+		x[0] = 1
+	}
+}
+
+// grow appends only to receiver-owned storage.
+//
+//wivi:hotpath
+func (b *buf) grow(v float64) {
+	b.data = append(b.data, v) // allowed: roots in the receiver
+}
+
+// cold is not annotated: it may allocate freely, and no diagnostics are
+// expected here.
+func cold() []float64 {
+	tmp := []float64{1, 2}
+	return append(tmp, 3)
+}

@@ -1,0 +1,12 @@
+package intoform_test
+
+import (
+	"testing"
+
+	"wivi/internal/lint/analysistest"
+	"wivi/internal/lint/intoform"
+)
+
+func TestIntoform(t *testing.T) {
+	analysistest.Run(t, "testdata", intoform.Analyzer, "a")
+}

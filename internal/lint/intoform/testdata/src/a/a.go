@@ -1,0 +1,151 @@
+// Package a exercises intoform: thin delegators (allowed), reimplementing
+// and over-calling convenience forms (flagged), method pairs, Append pairs,
+// and the case-insensitive unexported-sibling match.
+package a
+
+// Grid is a receiver type for method pairs.
+type Grid struct{ vals []float64 }
+
+// SumInto accumulates xs into dst.
+func SumInto(dst, xs []float64) {
+	for i, x := range xs {
+		dst[i] += x
+	}
+}
+
+// Sum is a thin delegator: allowed.
+func Sum(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	SumInto(out, xs)
+	return out
+}
+
+// ScaleInto scales xs by k into dst.
+func ScaleInto(dst, xs []float64, k float64) {
+	for i, x := range xs {
+		dst[i] = k * x
+	}
+}
+
+// Scale reimplements its sibling instead of delegating: flagged twice,
+// once for the loop and once for never calling ScaleInto.
+func Scale(xs []float64, k float64) []float64 { // want `Scale must delegate to its sibling ScaleInto exactly once \(found 0 calls\)`
+	out := make([]float64, len(xs))
+	for i, x := range xs { // want `loop in Scale, which has sibling ScaleInto`
+		out[i] = k * x
+	}
+	return out
+}
+
+func normalize(xs []float64) {}
+
+// ShiftInto shifts xs into dst.
+func ShiftInto(dst, xs []float64) {
+	copy(dst, xs)
+}
+
+// Shift does extra work beyond destination setup and delegation: flagged.
+func Shift(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	normalize(out) // want `call to normalize in Shift, which has sibling ShiftInto`
+	ShiftInto(out, xs)
+	return out
+}
+
+// TwiceInto copies xs into dst.
+func TwiceInto(dst, xs []float64) {
+	copy(dst, xs)
+}
+
+// Twice calls its sibling twice: flagged.
+func Twice(xs []float64) []float64 { // want `Twice must delegate to its sibling TwiceInto exactly once \(found 2 calls\)`
+	out := make([]float64, len(xs))
+	TwiceInto(out, xs)
+	TwiceInto(out, xs)
+	return out
+}
+
+// FFT pairs with its unexported into-form case-insensitively: allowed.
+func FFT(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	fftInto(out, xs)
+	return out
+}
+
+func fftInto(dst, xs []float64) {
+	copy(dst, xs)
+}
+
+// Vals is a method-pair thin delegator using a New* constructor for its
+// destination: allowed.
+func (g *Grid) Vals() []float64 {
+	out := NewBuffer(len(g.vals))
+	g.ValsInto(out)
+	return out
+}
+
+// ValsInto copies the grid values into dst.
+func (g *Grid) ValsInto(dst []float64) {
+	copy(dst, g.vals)
+}
+
+// NewBuffer allocates a destination buffer.
+func NewBuffer(n int) []float64 { return make([]float64, n) }
+
+// Rows delegates to its Append-form sibling: allowed.
+func Rows(g *Grid) []float64 {
+	return RowsAppend(nil, g)
+}
+
+// RowsAppend appends the grid's rows to dst.
+func RowsAppend(dst []float64, g *Grid) []float64 {
+	return append(dst, g.vals...)
+}
+
+// Chunks allocates a 2-D destination: the row-allocation loop is pure
+// setup (every statement assigns a make result) and is allowed.
+func Chunks(n, m int) [][]float64 {
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, m)
+	}
+	ChunksInto(out)
+	return out
+}
+
+// ChunksInto fills out with a deterministic pattern.
+func ChunksInto(out [][]float64) {
+	for i := range out {
+		for j := range out[i] {
+			out[i][j] = float64(i * j)
+		}
+	}
+}
+
+// Checked validates before delegating: the errEmpty call sits inside an
+// early-return guard and is allowed.
+func Checked(xs []float64) ([]float64, error) {
+	if len(xs) == 0 {
+		return nil, errEmpty()
+	}
+	out := make([]float64, len(xs))
+	CheckedInto(out, xs)
+	return out, nil
+}
+
+// CheckedInto copies xs into dst.
+func CheckedInto(dst, xs []float64) {
+	copy(dst, xs)
+}
+
+func errEmpty() error { return nil }
+
+// Solo has no Into/Append sibling, so loops and helper calls are fine.
+func Solo(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	normalize(xs)
+	return s
+}

@@ -1,0 +1,11 @@
+package a
+
+// _test.go files are exempt from intoform: TestX / TestXInto name pairs
+// are test functions, not an API convention, so this double sibling call
+// must produce no diagnostics.
+func TestPair(xs []float64) {
+	TestPairInto(xs)
+	TestPairInto(xs)
+}
+
+func TestPairInto(xs []float64) {}

@@ -1,0 +1,150 @@
+// Package load enumerates and parses the packages of this module for the
+// lint driver, without the go/packages machinery (which would drag in
+// x/tools — see internal/lint/analysis for why the lint stack is
+// dependency-free). The module has no external imports and the analyzers
+// are purely syntactic, so "loading" a package is: walk the tree, parse
+// every .go file with comments, group files into package units.
+package load
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"wivi/internal/lint/analysis"
+)
+
+// Unit is one parsed package unit ready for analysis.
+type Unit struct {
+	Pkg   *analysis.Package
+	Fset  *token.FileSet
+	Files []*ast.File
+}
+
+// Packages walks the module rooted at root and returns every package unit
+// under it, in deterministic (directory, unit) order. A directory
+// contributes up to two units: the package itself (including in-package
+// _test.go files) and, when present, its external _test package.
+//
+// Skipped subtrees: testdata (analyzer fixtures contain deliberate
+// violations), hidden directories (.git, .github), and vendor.
+func Packages(root string) ([]*Unit, error) {
+	modPath, err := modulePath(root)
+	if err != nil {
+		return nil, err
+	}
+	var dirs []string
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+			name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		dirs = append(dirs, path)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	var units []*Unit
+	for _, dir := range dirs {
+		us, err := dirUnits(root, modPath, dir)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, us...)
+	}
+	return units, nil
+}
+
+// Dir parses the single directory dir (non-recursive) into package units,
+// labeling them with importPath — the analysistest loader's entry point.
+func Dir(dir, importPath string) ([]*Unit, error) {
+	return dirUnits(dir, importPath, dir)
+}
+
+// dirUnits parses every .go file directly inside dir and groups the files
+// by package clause name into units.
+func dirUnits(root, modPath, dir string) ([]*Unit, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasPrefix(e.Name(), ".") {
+			names = append(names, e.Name())
+		}
+	}
+	if len(names) == 0 {
+		return nil, nil
+	}
+	sort.Strings(names)
+	importPath := modPath
+	if rel, err := filepath.Rel(root, dir); err == nil && rel != "." {
+		importPath = modPath + "/" + filepath.ToSlash(rel)
+	}
+	fset := token.NewFileSet()
+	byName := map[string][]*ast.File{} // package clause name -> files
+	var order []string
+	for _, name := range names {
+		file, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		pkgName := file.Name.Name
+		if _, seen := byName[pkgName]; !seen {
+			order = append(order, pkgName)
+		}
+		byName[pkgName] = append(byName[pkgName], file)
+	}
+	// Stable unit order: the package proper first, external test unit after.
+	sort.Slice(order, func(i, j int) bool {
+		ti, tj := strings.HasSuffix(order[i], "_test"), strings.HasSuffix(order[j], "_test")
+		if ti != tj {
+			return !ti
+		}
+		return order[i] < order[j]
+	})
+	var units []*Unit
+	for _, pkgName := range order {
+		forTest := strings.HasSuffix(pkgName, "_test")
+		path := importPath
+		if forTest {
+			path += " [" + pkgName + "]"
+		}
+		units = append(units, &Unit{
+			Pkg:   &analysis.Package{ImportPath: path, Name: pkgName, Dir: dir, ForTest: forTest},
+			Fset:  fset,
+			Files: byName[pkgName],
+		})
+	}
+	return units, nil
+}
+
+// modulePath reads the module path from root/go.mod.
+func modulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", fmt.Errorf("lint: cannot determine module path: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if after, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(after), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module line in %s/go.mod", root)
+}

@@ -1,0 +1,66 @@
+// Package rngguard enforces the determinism invariant on randomness: all
+// pseudo-randomness flows through wivi/internal/rng, whose Stream type is
+// seed-addressable and replayable (the batch/stream byte-identity and
+// golden-fixture tests depend on every random draw being reproducible from
+// a recorded seed). A direct math/rand import — even in a test — creates a
+// second, unseeded source of variation; crypto/rand is nondeterministic by
+// construction and has no place in a simulation/DSP codebase.
+//
+// Banned everywhere except package wivi/internal/rng itself: imports of
+// math/rand, math/rand/v2 and crypto/rand. Unlike clockguard this applies
+// to _test.go files too — a test seeded from math/rand's global source is
+// exactly the flaky-repro hazard the rng package exists to prevent.
+//
+// A deliberate exception carries //wivi:rand <reason> on the import line
+// or the line above. An annotation without a reason is reported, not
+// honored.
+package rngguard
+
+import (
+	"strings"
+
+	"wivi/internal/lint/analysis"
+	"wivi/internal/lint/annot"
+)
+
+// Analyzer is the rngguard instance.
+var Analyzer = &analysis.Analyzer{
+	Name: "rngguard",
+	Doc:  "forbid math/rand and crypto/rand imports outside internal/rng (escape: //wivi:rand <reason>)",
+	Run:  run,
+}
+
+// exemptPkg is the one package allowed to import the stdlib RNGs: the
+// seed-addressable wrapper everything else must go through.
+const exemptPkg = "wivi/internal/rng"
+
+var banned = map[string]string{
+	`"math/rand"`:    "math/rand",
+	`"math/rand/v2"`: "math/rand/v2",
+	`"crypto/rand"`:  "crypto/rand",
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	// The exemption covers the rng package unit and its test units alike
+	// (ImportPath carries a " [pkgname_test]" suffix for external tests).
+	if p, _, _ := strings.Cut(pass.Pkg.ImportPath, " "); p == exemptPkg {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		ix := annot.NewIndex(pass.Fset, file, annot.Rand)
+		for _, imp := range file.Imports {
+			path, bad := banned[imp.Path.Value]
+			if !bad {
+				continue
+			}
+			if ann, ok := ix.Covering(imp.Pos()); ok {
+				if ann.Reason == "" {
+					pass.Reportf(imp.Pos(), "//wivi:rand needs a reason: say why this %s import must bypass internal/rng", path)
+				}
+				continue
+			}
+			pass.Reportf(imp.Pos(), "import of %s bypasses the deterministic internal/rng seam; use rng.New(seed) or annotate //wivi:rand <reason>", path)
+		}
+	}
+	return nil, nil
+}

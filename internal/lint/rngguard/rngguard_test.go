@@ -1,0 +1,12 @@
+package rngguard_test
+
+import (
+	"testing"
+
+	"wivi/internal/lint/analysistest"
+	"wivi/internal/lint/rngguard"
+)
+
+func TestRngguard(t *testing.T) {
+	analysistest.Run(t, "testdata", rngguard.Analyzer, "a", "wivi/internal/rng")
+}

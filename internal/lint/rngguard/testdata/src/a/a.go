@@ -1,0 +1,17 @@
+// Package a exercises rngguard: banned stdlib RNG imports, waived imports,
+// and the reason requirement.
+package a
+
+import (
+	crand "crypto/rand" // want `import of crypto/rand bypasses`
+	"math/rand"         // want `import of math/rand bypasses`
+	"math/rand/v2"      // want `import of math/rand/v2 bypasses`
+	"os"
+)
+
+var (
+	_ = rand.Int
+	_ = crand.Reader
+	_ = v2.Int
+	_ = os.Args
+)

@@ -1,0 +1,8 @@
+package a
+
+// Unlike clockguard, rngguard checks _test.go files too: an unseeded rand
+// source in a test is exactly the flaky-repro hazard internal/rng prevents.
+
+import "math/rand" // want `import of math/rand bypasses`
+
+var _ = rand.Int

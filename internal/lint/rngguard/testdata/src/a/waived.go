@@ -1,0 +1,13 @@
+// Waiver fixtures for rngguard.
+package a
+
+//wivi:rand key-pair generation for the TLS fixture needs crypto entropy
+import fixturerand "crypto/rand"
+
+//wivi:rand
+import mrand "math/rand" // want `//wivi:rand needs a reason`
+
+var (
+	_ = fixturerand.Reader
+	_ = mrand.Int
+)

@@ -1,0 +1,8 @@
+// Package rng is the rngguard fixture for the exempt package: the one
+// place allowed to import the stdlib RNGs. No diagnostics expected.
+package rng
+
+import "math/rand"
+
+// New mirrors the real package's seed-addressable constructor shape.
+func New(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,7 @@
+// The exemption covers the rng package's external test unit as well: its
+// ImportPath carries a " [rng_test]" suffix that must still match.
+package rng_test
+
+import "math/rand"
+
+var _ = rand.Int

@@ -69,6 +69,8 @@ func Modulate(freq []complex128) ([]complex128, error) {
 // dst, which must not alias freq. The IFFT lands directly in the symbol
 // body and the cyclic prefix is copied from its tail, so a planned
 // transform makes the whole synthesis allocation-free. Returns dst.
+//
+//wivi:hotpath
 func ModulateInto(dst, freq []complex128) ([]complex128, error) {
 	if len(freq) != NumSubcarriers {
 		return nil, fmt.Errorf("ofdm: Modulate needs %d bins, got %d", NumSubcarriers, len(freq))
@@ -89,6 +91,8 @@ func Demodulate(td []complex128) ([]complex128, error) {
 
 // DemodulateInto is Demodulate writing the NumSubcarriers-bin symbol into
 // dst, which must not alias td. Returns dst.
+//
+//wivi:hotpath
 func DemodulateInto(dst, td []complex128) ([]complex128, error) {
 	if len(td) != SymbolLen {
 		return nil, fmt.Errorf("ofdm: Demodulate needs %d samples, got %d", SymbolLen, len(td))
@@ -231,6 +235,8 @@ func AverageSubcarriers(hs [][]complex128) ([]complex128, error) {
 // summation order match ActiveSubcarriers / AverageSubcarriers exactly
 // (non-empty bins in input order), so the two entry points agree bit for
 // bit.
+//
+//wivi:hotpath
 func AverageSubcarriersAppend(dst []complex128, hs [][]complex128) ([]complex128, error) {
 	n, active := -1, 0
 	for _, h := range hs {

@@ -1,0 +1,58 @@
+package pipeline
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"wivi/internal/core"
+)
+
+// TestFakeClockExactQueueWait pins the Config.Clock seam: with a manual
+// FakeClock injected, latency accounting is exact rather than
+// host-scheduler-dependent. A request queued behind a busy single worker
+// must report precisely the fake time advanced while it waited — not
+// "about that much", but equal to the nanosecond.
+func TestFakeClockExactQueueWait(t *testing.T) {
+	clk := core.NewFakeClock(time.Unix(1000, 0), false)
+	eng := New(Config{Workers: 1, QueueDepth: 4, Clock: clk})
+	defer eng.Close()
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	ha, err := eng.Submit(context.Background(), Request{Tracker: &slowTracker{started: started, release: release}})
+	if err != nil {
+		t.Fatalf("submit blocker: %v", err)
+	}
+	<-started // the lone worker is now inside Observe, its wait already stamped
+
+	hb, err := eng.Submit(context.Background(), Request{Tracker: &fakeTracker{}})
+	if err != nil {
+		t.Fatalf("submit queued request: %v", err)
+	}
+	const wait = 42 * time.Millisecond
+	clk.Advance(wait)
+	close(release)
+
+	ra, rb := ha.Wait(context.Background()), hb.Wait(context.Background())
+	if ra.Err != nil || rb.Err != nil {
+		t.Fatalf("unexpected errors: %v, %v", ra.Err, rb.Err)
+	}
+	if ra.QueueWait != 0 {
+		t.Errorf("blocker QueueWait = %v, want exactly 0 (picked before any advance)", ra.QueueWait)
+	}
+	if rb.QueueWait != wait {
+		t.Errorf("queued QueueWait = %v, want exactly %v", rb.QueueWait, wait)
+	}
+
+	// The engine-level histogram saw exactly the same two samples, so
+	// every percentile of the queue-wait distribution is the 42ms sample
+	// or zero — again exact, because no real clock was consulted.
+	st := eng.Stats()
+	if st.QueueWait.Count != 2 {
+		t.Fatalf("QueueWait.Count = %d, want 2", st.QueueWait.Count)
+	}
+	if st.QueueWait.P95 != wait {
+		t.Errorf("QueueWait.P95 = %v, want exactly %v", st.QueueWait.P95, wait)
+	}
+}

@@ -60,6 +60,11 @@ type Config struct {
 	// (min 1), which always reserves a worker for batch submits; setting
 	// MaxStreams >= Workers trades that guarantee for stream capacity.
 	MaxStreams int
+	// Clock supplies every timestamp behind the engine's latency
+	// accounting (queue wait, service time, end-to-end, frames/sec);
+	// default core.RealClock(). Tests inject a core.FakeClock to make
+	// latency figures exact rather than host-scheduler-dependent.
+	Clock core.Clock
 }
 
 func (c Config) withDefaults() Config {
@@ -74,6 +79,9 @@ func (c Config) withDefaults() Config {
 		if c.MaxStreams < 1 {
 			c.MaxStreams = 1
 		}
+	}
+	if c.Clock == nil {
+		c.Clock = core.RealClock()
 	}
 	return c
 }
@@ -169,6 +177,7 @@ var ErrDeadlineInfeasible = errors.New("pipeline: deadline infeasible under paci
 // Engine is a bounded worker pool executing tracking requests.
 type Engine struct {
 	cfg   Config
+	clock core.Clock
 	jobs  chan job
 	quit  chan struct{}
 	wg    sync.WaitGroup
@@ -210,9 +219,10 @@ func New(cfg Config) *Engine {
 	cfg = cfg.withDefaults()
 	e := &Engine{
 		cfg:         cfg,
+		clock:       cfg.Clock,
 		jobs:        make(chan job, cfg.QueueDepth),
 		quit:        make(chan struct{}),
-		start:       time.Now(),
+		start:       cfg.Clock.Now(),
 		streamSlots: make(chan struct{}, cfg.MaxStreams),
 	}
 	e.wg.Add(cfg.Workers)
@@ -271,7 +281,7 @@ func (e *Engine) Stats() Stats {
 		Failed:        e.failed.Load(),
 		Frames:        e.frames.Load(),
 	}
-	if elapsed := time.Since(e.start).Seconds(); elapsed > 0 {
+	if elapsed := e.clock.Now().Sub(e.start).Seconds(); elapsed > 0 {
 		s.FramesPerSecond = float64(s.Frames) / elapsed
 	}
 	s.QueueWait = e.queueWaitHist.snapshot()
@@ -367,10 +377,10 @@ func (e *Engine) worker() {
 				continue
 			}
 			e.running.Add(1)
-			wait := time.Since(j.enq)
-			serviceStart := time.Now()
+			wait := e.clock.Now().Sub(j.enq)
+			serviceStart := e.clock.Now()
 			res := run(j.ctx, j.req)
-			service := time.Since(serviceStart)
+			service := e.clock.Now().Sub(serviceStart)
 			res.QueueWait = wait
 			e.queueWaitHist.observe(wait)
 			e.e2eHist.observe(wait + service)
@@ -421,7 +431,7 @@ func (e *Engine) Submit(ctx context.Context, req Request) (*Handle, error) {
 	defer e.inflight.Done()
 	h := &Handle{done: make(chan struct{})}
 	select {
-	case e.jobs <- job{ctx: ctx, req: req, h: h, enq: time.Now()}:
+	case e.jobs <- job{ctx: ctx, req: req, h: h, enq: e.clock.Now()}:
 		return h, nil
 	case <-e.quit:
 		return nil, ErrClosed

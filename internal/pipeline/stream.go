@@ -113,7 +113,7 @@ func (e *Engine) SubmitStream(ctx context.Context, req StreamRequest) (*StreamHa
 	}
 	h := &StreamHandle{started: make(chan struct{})}
 	select {
-	case e.jobs <- job{ctx: ctx, stream: &req, sh: h, enq: time.Now()}:
+	case e.jobs <- job{ctx: ctx, stream: &req, sh: h, enq: e.clock.Now()}:
 		return h, nil
 	case <-e.quit:
 		<-e.streamSlots
@@ -141,7 +141,7 @@ func (e *Engine) runStream(j job) {
 		Duration:     j.stream.Duration,
 		ChunkSamples: j.stream.ChunkSamples,
 	})
-	j.sh.queueWait = time.Since(j.enq)
+	j.sh.queueWait = e.clock.Now().Sub(j.enq)
 	e.queueWaitHist.observe(j.sh.queueWait)
 	j.sh.stream, j.sh.err = st, err
 	close(j.sh.started)
@@ -155,7 +155,7 @@ func (e *Engine) runStream(j job) {
 	// stream stats are eventually consistent, not synchronized with Done.
 	<-st.Done()
 	e.frames.Add(int64(st.Emitted()))
-	e.e2eHist.observe(time.Since(j.enq))
+	e.e2eHist.observe(e.clock.Now().Sub(j.enq))
 	for _, lag := range st.Lags() {
 		e.frameLagHist.observe(lag)
 	}
