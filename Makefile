@@ -1,11 +1,11 @@
 # Tier-1 gate, mirrored by .github/workflows/ci.yml.
-.PHONY: check fmt vet staticcheck lint build examples test smoke bench bench-json
+.PHONY: check fmt vet staticcheck lint build examples test smoke smoke-serve bench bench-json
 
 # Pinned staticcheck release, mirrored by CI. Bump deliberately: a new
 # release can add checks and turn a green tree red.
 STATICCHECK_VERSION = 2025.1.1
 
-check: fmt vet staticcheck lint build examples test smoke
+check: fmt vet staticcheck lint build examples test smoke smoke-serve
 
 # gofmt gate: fail (and list the offenders) if any file needs formatting.
 fmt:
@@ -59,6 +59,26 @@ smoke:
 	go run ./cmd/wivi-bench -mixed -batch 2 -trackdur 2
 	go run ./cmd/wivi-bench -paced -batch 2 -trackdur 2
 
+# Service smoke: start the wivi-serve daemon on a random port (two
+# identically-seeded replica devices so wire identity is checkable),
+# drive it with the wivi-bench -serve load generator, scrape /metrics
+# and /healthz, then SIGTERM and require a clean graceful-drain exit.
+smoke-serve:
+	@set -e; tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	go build -o $$tmp/wivi-serve ./cmd/wivi-serve; \
+	go build -o $$tmp/wivi-bench ./cmd/wivi-bench; \
+	$$tmp/wivi-serve -addr 127.0.0.1:0 -addr-file $$tmp/addr -devices 2 -maxdur 3 & pid=$$!; \
+	for i in $$(seq 1 100); do [ -s $$tmp/addr ] && break; sleep 0.1; done; \
+	[ -s $$tmp/addr ] || { echo "wivi-serve never wrote its address"; kill $$pid; exit 1; }; \
+	addr=$$(cat $$tmp/addr); \
+	$$tmp/wivi-bench -serve -addr http://$$addr -batch 2 -trackdur 1 -json > $$tmp/serve.json; \
+	grep -q '"requests_per_s"' $$tmp/serve.json; \
+	grep -q '"identity": true' $$tmp/serve.json; \
+	curl -fsS http://$$addr/metrics | grep -q '^wivi_engine_completed_total'; \
+	curl -fsS http://$$addr/healthz >/dev/null; \
+	kill -TERM $$pid; wait $$pid; \
+	echo "smoke-serve: daemon served, measured and drained cleanly"
+
 # Engine benchmarks: sequential vs parallel batch tracking, streamed
 # frames/s, the paced chain's per-frame lag (wall-clock bound), and —
 # with -benchmem — allocs/op, the number the incremental kernel's
@@ -85,8 +105,9 @@ bench-json:
 	go run ./cmd/wivi-bench -stream -batch 4 -trackdur 4 -json > bench-stream.json
 	go run ./cmd/wivi-bench -mixed -batch 2 -trackdur 2 -json  > bench-mixed.json
 	go run ./cmd/wivi-bench -paced -batch 2 -trackdur 2 -json  > bench-paced.json
+	go run ./cmd/wivi-bench -serve -batch 4 -trackdur 2 -json  > bench-serve.json
 	jq -s '{schema: "wivi-bench/1", runs: .}' \
 		bench-batch.json bench-stream-cold.json bench-stream.json \
-		bench-mixed.json bench-paced.json > $(BENCH_OUT)
-	rm -f bench-batch.json bench-stream-cold.json bench-stream.json bench-mixed.json bench-paced.json
+		bench-mixed.json bench-paced.json bench-serve.json > $(BENCH_OUT)
+	rm -f bench-batch.json bench-stream-cold.json bench-stream.json bench-mixed.json bench-paced.json bench-serve.json
 	@echo "wrote $(BENCH_OUT)"

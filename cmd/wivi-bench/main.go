@@ -11,6 +11,7 @@
 //	wivi-bench -stream -batch 4     # streaming latency mode (see below)
 //	wivi-bench -mixed -batch 2      # mixed-workload mode (see below)
 //	wivi-bench -paced -batch 4      # real-time paced mode (see below)
+//	wivi-bench -serve -batch 4      # HTTP load-generator mode (see below)
 //	wivi-bench -stream -json        # machine-readable report on stdout
 //
 // Throughput mode (-batch N) exercises the concurrent tracking engine
@@ -40,6 +41,14 @@
 // per-frame lag percentiles, enforces the wall-clock SLOs (real-time
 // factor >= 1.0, p95 frame lag < one analysis window), keeps the
 // batch/stream identity check, and exercises typed deadline rejection.
+//
+// Serve mode (-serve, with -batch N) is the wivi-serve load generator:
+// it drives the HTTP tier — an external daemon named by -addr, or an
+// in-process server it starts itself — with N batch plus N streaming
+// requests at -workers client concurrency, re-proves the wire-identity
+// invariant by streaming one deterministic capture twice and comparing
+// spectra bitwise, and reports requests/s, requests/s within the SLO
+// (one capture duration of wall clock) and wire latency percentiles.
 //
 // Every engine mode accepts -json: the mode's figures are emitted as a
 // single JSON object on stdout (schema "wivi-bench/1", see report.go)
@@ -79,6 +88,8 @@ func main() {
 		stream   = flag.Bool("stream", false, "streaming latency mode over -batch scenes (default 4): time-to-first-frame, frame lag, batch-identity check")
 		mixed    = flag.Bool("mixed", false, "mixed-workload mode: -batch (default 2) track + gesture + stream requests each against one explicit engine")
 		paced    = flag.Bool("paced", false, "real-time paced mode: -batch (default 2) concurrent paced streams with wall-clock SLO enforcement")
+		serveOn  = flag.Bool("serve", false, "load-generator mode: drive a wivi-serve daemon over HTTP with -batch (default 4) batch + -batch stream requests, reporting requests-per-second-at-SLO")
+		addr     = flag.String("addr", "", "wivi-serve base URL for -serve mode (e.g. http://127.0.0.1:8080; empty starts an in-process server)")
 		jsonOut  = flag.Bool("json", false, "emit a machine-readable JSON report on stdout (narration moves to stderr)")
 		eigEvery = flag.Int("eigkeyframe", 0, "eig keyframe cadence for -stream mode devices: 0 = default, 1 = from-scratch eig every frame (the warm-start ablation/baseline)")
 	)
@@ -104,16 +115,27 @@ func main() {
 	}
 
 	exclusive := 0
-	for _, on := range []bool{*mixed, *stream, *paced} {
+	for _, on := range []bool{*mixed, *stream, *paced, *serveOn} {
 		if on {
 			exclusive++
 		}
 	}
 	if exclusive > 1 {
-		log.Fatal("-stream, -mixed and -paced are mutually exclusive modes")
+		log.Fatal("-stream, -mixed, -paced and -serve are mutually exclusive modes")
 	}
 	if exclusive > 0 && (*run != "" || *quick) {
-		log.Fatal("-stream/-mixed/-paced are engine modes and are incompatible with -run/-quick")
+		log.Fatal("-stream/-mixed/-paced/-serve are engine modes and are incompatible with -run/-quick")
+	}
+	if *addr != "" && !*serveOn {
+		log.Fatal("-addr only applies to -serve mode")
+	}
+
+	if *serveOn {
+		if *batch < 1 {
+			*batch = 4
+		}
+		finish(runServeMode(out, *batch, *workers, *seed, *trackDur, *addr))
+		return
 	}
 
 	if *paced {

@@ -10,7 +10,7 @@ package main
 // renames are breaking and require a schema bump):
 //
 //	schema           "wivi-bench/1"
-//	mode             "batch" | "stream" | "mixed" | "paced" | "eval"
+//	mode             "batch" | "stream" | "mixed" | "paced" | "serve" | "eval"
 //	workers          worker-pool size the run used
 //	gomaxprocs       runtime.GOMAXPROCS(0) on the host
 //	scenes           scenes (or requests per kind, mixed mode)
@@ -33,9 +33,14 @@ package main
 //	                 and spectrum stages of the frame kernel (stream)
 //	real_time_factor capture span / compute time     (paced)
 //	speedup_x        parallel over sequential        (batch)
-//	per_mode         {track|gesture|stream: figures} (mixed)
-//	engine           engine Stats() snapshot         (mixed, paced)
+//	per_mode         {track|gesture|stream: figures} (mixed, serve)
+//	engine           engine Stats() snapshot         (mixed, paced, serve)
 //	experiments, failures                            (eval)
+//	requests_per_s   completed requests per second over the wire (serve)
+//	requests_at_slo_per_s   completed requests per second that met
+//	                 the latency SLO (one capture duration)       (serve)
+//	slo_ok_fraction  fraction of requests that met the SLO        (serve)
+//	request_p50_ms / _p95_ms / _p99_ms   wire request latency     (serve)
 
 import (
 	"encoding/json"
@@ -80,6 +85,13 @@ type benchReport struct {
 
 	RealTimeFactor float64 `json:"real_time_factor,omitempty"`
 	SpeedupX       float64 `json:"speedup_x,omitempty"`
+
+	RequestsPerSec      float64 `json:"requests_per_s,omitempty"`
+	RequestsAtSLOPerSec float64 `json:"requests_at_slo_per_s,omitempty"`
+	SLOOkFraction       float64 `json:"slo_ok_fraction,omitempty"`
+	RequestP50Ms        float64 `json:"request_p50_ms,omitempty"`
+	RequestP95Ms        float64 `json:"request_p95_ms,omitempty"`
+	RequestP99Ms        float64 `json:"request_p99_ms,omitempty"`
 
 	PerMode map[string]modeFigures `json:"per_mode,omitempty"`
 	Engine  *engineFigures         `json:"engine,omitempty"`

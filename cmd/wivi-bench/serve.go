@@ -1,0 +1,261 @@
+package main
+
+// Serve mode (-serve): the wivi-serve load generator. It drives the
+// HTTP tier over localhost — against an external daemon (-addr) or an
+// in-process server it spins up itself — with a mix of batch and
+// streaming requests, and reports requests-per-second-at-SLO, where the
+// SLO is one capture duration of wall clock: a tracking service is
+// keeping up exactly when a request completes faster than the motion it
+// images. Before loading, it re-proves the wire-identity invariant by
+// streaming the same request twice and comparing every spectrum value
+// bitwise across the serialize/deserialize cycle.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"wivi"
+	"wivi/internal/serve"
+)
+
+type serveSample struct {
+	stream  bool
+	latency time.Duration
+	queueMs float64
+	err     error
+}
+
+// runServeMode drives 2*batch requests (half batch, half streaming) at
+// the given client concurrency and aggregates wire-level figures.
+//
+//wivi:wallclock benchmark harness measures real elapsed wall time by design
+func runServeMode(out io.Writer, batch, workers int, seed int64, trackDur float64, addr string) (*benchReport, error) {
+	rep := newBenchReport("serve", workers, 2*batch, trackDur)
+	ctx := context.Background()
+
+	// No -addr: spin up the served stack in-process on a loopback port,
+	// with two identically-seeded replica devices so the wire-identity
+	// check below has a bit-identical pair to compare.
+	var inproc *wivi.Engine
+	if addr == "" {
+		registry := make(map[string]*wivi.Device, 2)
+		for _, name := range []string{"dev0", "dev1"} {
+			sc := wivi.NewScene(wivi.SceneOptions{Seed: seed})
+			if err := sc.AddWalker(trackDur + 1); err != nil {
+				return nil, err
+			}
+			dev, err := wivi.NewDevice(sc, wivi.DeviceOptions{})
+			if err != nil {
+				return nil, err
+			}
+			registry[name] = dev
+		}
+		inproc = wivi.NewEngine(wivi.EngineOptions{Workers: workers})
+		defer inproc.Close()
+		srv, err := serve.New(serve.Config{Engine: inproc, Devices: registry})
+		if err != nil {
+			return nil, err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		hs := &http.Server{Handler: srv}
+		go hs.Serve(ln)
+		defer hs.Close()
+		addr = "http://" + ln.Addr().String()
+		fmt.Fprintf(out, "serve mode: in-process wivi-serve on %s\n", addr)
+	} else {
+		fmt.Fprintf(out, "serve mode: driving external daemon at %s\n", addr)
+	}
+
+	client := &serve.Client{BaseURL: addr}
+	devs, err := client.Devices(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("discovering devices: %w", err)
+	}
+	if len(devs.Devices) == 0 {
+		return nil, fmt.Errorf("server at %s registers no devices", addr)
+	}
+	if devs.MaxDurationS > 0 && trackDur > devs.MaxDurationS {
+		trackDur = devs.MaxDurationS
+		rep.TrackDurationS = trackDur
+		fmt.Fprintf(out, "  capture clamped to the server cap: %g s\n", trackDur)
+	}
+
+	// Wire identity: two identically-seeded replica devices capture
+	// bit-identical data (wivi-serve registers replicas; fresh same-seed
+	// devices are the library's identity baseline), so streaming one
+	// request against each must decode to bit-identical frames —
+	// determinism and JSON float64 round-tripping proven over the wire
+	// before any load figures. A single-device server can't offer a
+	// bit-identical pair, so the check is skipped there.
+	if len(devs.Devices) >= 2 {
+		first, err := collectStream(ctx, client, devs.Devices[0], trackDur)
+		if err != nil {
+			return nil, fmt.Errorf("identity stream on %s: %w", devs.Devices[0], err)
+		}
+		second, err := collectStream(ctx, client, devs.Devices[1], trackDur)
+		if err != nil {
+			return nil, fmt.Errorf("identity stream on %s: %w", devs.Devices[1], err)
+		}
+		rep.Identity = framesIdentical(first, second)
+		if !rep.Identity {
+			return rep, fmt.Errorf("wire identity violated: streams of replica devices %s and %s differ",
+				devs.Devices[0], devs.Devices[1])
+		}
+		fmt.Fprintf(out, "  wire identity: %d frames bit-identical across replica streams\n", len(first))
+	} else {
+		fmt.Fprintf(out, "  wire identity: skipped (server registers a single device; need two replicas)\n")
+	}
+
+	// Load phase: 2*batch requests, alternating batch/stream, fanned
+	// out over `workers` client goroutines round-robin across devices.
+	total := 2 * batch
+	slo := time.Duration(trackDur * float64(time.Second))
+	jobs := make(chan int)
+	samples := make([]serveSample, total)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				req := serve.TrackRequest{
+					Device:    devs.Devices[i%len(devs.Devices)],
+					DurationS: trackDur,
+				}
+				t0 := time.Now()
+				var queueMs float64
+				var err error
+				stream := i%2 == 1
+				if stream {
+					frames, serr := collectStream(ctx, client, req.Device, trackDur)
+					if serr == nil && len(frames) == 0 {
+						serr = fmt.Errorf("stream returned no frames")
+					}
+					err = serr
+				} else {
+					var res *serve.TrackResponse
+					res, err = client.Track(ctx, req)
+					if err == nil {
+						queueMs = res.QueueWaitMs
+					}
+				}
+				samples[i] = serveSample{stream: stream, latency: time.Since(t0), queueMs: queueMs, err: err}
+			}
+		}()
+	}
+	for i := 0; i < total; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	elapsed := time.Since(start)
+	rep.ElapsedS = elapsed.Seconds()
+
+	// Aggregate: throughput, SLO attainment, latency percentiles.
+	var lats []time.Duration
+	okAtSLO := 0
+	perMode := map[string]*modeFigures{"batch": {}, "stream": {}}
+	modeLat := map[string]time.Duration{}
+	for _, s := range samples {
+		if s.err != nil {
+			return rep, fmt.Errorf("load request failed: %w", s.err)
+		}
+		lats = append(lats, s.latency)
+		if s.latency <= slo {
+			okAtSLO++
+		}
+		key := "batch"
+		if s.stream {
+			key = "stream"
+		}
+		perMode[key].Requests++
+		perMode[key].QueueWaitMeanMs += s.queueMs
+		modeLat[key] += s.latency
+	}
+	for key, m := range perMode {
+		if m.Requests == 0 {
+			continue
+		}
+		m.RequestsPerSec = float64(m.Requests) / elapsed.Seconds()
+		m.QueueWaitMeanMs /= float64(m.Requests)
+		m.LatencyMeanMs = ms(modeLat[key] / time.Duration(m.Requests))
+	}
+	rep.PerMode = map[string]modeFigures{"batch": *perMode["batch"], "stream": *perMode["stream"]}
+	rep.RequestsPerSec = float64(total) / elapsed.Seconds()
+	rep.RequestsAtSLOPerSec = float64(okAtSLO) / elapsed.Seconds()
+	rep.SLOOkFraction = float64(okAtSLO) / float64(total)
+	rep.RequestP50Ms = percentileMs(lats, 50)
+	rep.RequestP95Ms = percentileMs(lats, 95)
+	rep.RequestP99Ms = percentileMs(lats, 99)
+
+	// The served engine's own view, over the same wire it serves.
+	if st, err := client.Stats(ctx); err == nil {
+		rep.Engine = snapshotEngine(st.Engine)
+	} else {
+		fmt.Fprintf(out, "  (stats endpoint unavailable: %v)\n", err)
+	}
+
+	fmt.Fprintf(out, "  %d requests (%d batch + %d stream) in %.2f s at %d client workers\n",
+		total, batch, batch, elapsed.Seconds(), workers)
+	fmt.Fprintf(out, "  throughput   %.2f req/s, %.2f req/s within SLO (%.0f%% ≤ %v)\n",
+		rep.RequestsPerSec, rep.RequestsAtSLOPerSec, 100*rep.SLOOkFraction, slo)
+	fmt.Fprintf(out, "  wire latency p50 %.1f ms, p95 %.1f ms, p99 %.1f ms\n",
+		rep.RequestP50Ms, rep.RequestP95Ms, rep.RequestP99Ms)
+	return rep, nil
+}
+
+// collectStream runs one streamed request to completion and returns its
+// frames.
+func collectStream(ctx context.Context, client *serve.Client, device string, trackDur float64) ([]serve.Frame, error) {
+	cs, err := client.TrackStream(ctx, serve.TrackRequest{Device: device, DurationS: trackDur})
+	if err != nil {
+		return nil, err
+	}
+	defer cs.Close()
+	var frames []serve.Frame
+	for {
+		fr, ok := cs.Next()
+		if !ok {
+			break
+		}
+		frames = append(frames, fr)
+	}
+	if err := cs.Err(); err != nil {
+		return nil, err
+	}
+	if cs.Result() == nil {
+		return nil, fmt.Errorf("stream ended without a result event")
+	}
+	return frames, nil
+}
+
+// framesIdentical compares two streamed captures bitwise (indices,
+// times, every spectrum value). Lag is wall-clock and excluded.
+func framesIdentical(a, b []serve.Frame) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Index != b[i].Index ||
+			math.Float64bits(a[i].TimeS) != math.Float64bits(b[i].TimeS) ||
+			len(a[i].Power) != len(b[i].Power) {
+			return false
+		}
+		for k := range a[i].Power {
+			if math.Float64bits(a[i].Power[k]) != math.Float64bits(b[i].Power[k]) {
+				return false
+			}
+		}
+	}
+	return true
+}

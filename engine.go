@@ -127,43 +127,52 @@ func (e *Engine) Close() error {
 }
 
 // EngineStats is a point-in-time snapshot of engine load plus lifetime
-// throughput counters.
+// throughput counters. The JSON tags are the wire layout internal/serve
+// exports on /v1/stats (and mirrors in Prometheus form on /metrics), so
+// renaming one is a service-API break, not just a library one.
 type EngineStats struct {
 	// Workers and MaxStreams echo the engine sizing.
-	Workers, MaxStreams int
+	Workers    int `json:"workers"`
+	MaxStreams int `json:"max_streams"`
 	// Queued counts accepted requests no worker has picked up yet.
-	Queued int
+	Queued int `json:"queued"`
 	// InFlight counts requests executing right now; streaming requests
 	// count from admission to their final frame.
-	InFlight int
+	InFlight int `json:"in_flight"`
 	// ActiveStreams is the streaming subset of InFlight.
-	ActiveStreams int
+	ActiveStreams int `json:"active_streams"`
 	// Completed and Failed count finished requests (Failed includes
 	// cancellations and shutdown rejections).
-	Completed, Failed int64
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
 	// Frames counts image frames produced by finished requests;
 	// FramesPerSecond averages them over the engine's lifetime — the
 	// imaging-throughput figure of merit.
-	Frames          int64
-	FramesPerSecond float64
+	Frames          int64   `json:"frames"`
+	FramesPerSecond float64 `json:"frames_per_second"`
 	// QueueWait distributes how long requests sat accepted but not yet
 	// picked up; EndToEnd distributes accept-to-completion latency;
 	// FrameLag distributes streamed frames' wall-clock lag (emit instant
 	// minus the arrival of the frame window's last sample — the
 	// real-time SLO dimension for paced devices). Percentiles are
 	// nearest-rank over the most recent sample window.
-	QueueWait, FrameLag, EndToEnd LatencyProfile
+	QueueWait LatencyProfile `json:"queue_wait"`
+	FrameLag  LatencyProfile `json:"frame_lag"`
+	EndToEnd  LatencyProfile `json:"end_to_end"`
 }
 
 // LatencyProfile summarizes one wall-clock latency dimension of an
 // engine: lifetime observation count and nearest-rank percentiles over
-// the most recent samples.
+// the most recent samples. Durations marshal as integer nanoseconds
+// (Go's time.Duration representation), hence the _ns tag suffixes.
 type LatencyProfile struct {
 	// Count is the lifetime number of observations.
-	Count int64
+	Count int64 `json:"count"`
 	// P50, P95 and P99 are nearest-rank percentiles; zero when nothing
 	// has been recorded.
-	P50, P95, P99 time.Duration
+	P50 time.Duration `json:"p50_ns"`
+	P95 time.Duration `json:"p95_ns"`
+	P99 time.Duration `json:"p99_ns"`
 }
 
 func latencyProfile(s pipeline.LatencyStats) LatencyProfile {

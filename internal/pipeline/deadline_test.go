@@ -126,27 +126,27 @@ func TestStatsLatencyPercentiles(t *testing.T) {
 }
 
 func TestLatencyRecorderWindow(t *testing.T) {
-	var r latencyRecorder
-	if s := r.snapshot(); s.Count != 0 || s.P50 != 0 || s.P99 != 0 {
+	var r LatencyRecorder
+	if s := r.Snapshot(); s.Count != 0 || s.P50 != 0 || s.P99 != 0 {
 		t.Fatalf("empty recorder snapshot = %+v", s)
 	}
 	// Overfill the ring: the window keeps the most recent samples, so
 	// after maxLatencySamples large values the early small ones are gone.
 	for i := 0; i < 100; i++ {
-		r.observe(time.Nanosecond)
+		r.Observe(time.Nanosecond)
 	}
 	for i := 0; i < maxLatencySamples; i++ {
-		r.observe(time.Second)
+		r.Observe(time.Second)
 	}
-	s := r.snapshot()
+	s := r.Snapshot()
 	if s.Count != 100+maxLatencySamples {
 		t.Fatalf("Count = %d", s.Count)
 	}
 	if s.P50 != time.Second || s.P99 != time.Second {
 		t.Fatalf("window percentiles = %+v, want 1s (recent window only)", s)
 	}
-	r.observe(-time.Second) // negative clamps to zero, never corrupts
-	if got := r.snapshot(); got.Count != 101+maxLatencySamples {
+	r.Observe(-time.Second) // negative clamps to zero, never corrupts
+	if got := r.Snapshot(); got.Count != 101+maxLatencySamples {
 		t.Fatalf("Count after clamp = %d", got.Count)
 	}
 }

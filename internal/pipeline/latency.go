@@ -31,16 +31,21 @@ type LatencyStats struct {
 	P50, P95, P99 time.Duration
 }
 
-// latencyRecorder is a concurrency-safe ring of the most recent
-// observations.
-type latencyRecorder struct {
+// LatencyRecorder is a concurrency-safe ring of the most recent
+// observations. The engine keeps one per latency dimension; the serve
+// tier (internal/serve) records its own handler-level dimensions with
+// the same type so every layer reports identical percentile math. The
+// zero value is ready to use.
+type LatencyRecorder struct {
 	mu    sync.Mutex
 	ring  []time.Duration
 	next  int
 	count int64
 }
 
-func (r *latencyRecorder) observe(d time.Duration) {
+// Observe folds one sample into the recorder (negative samples clamp to
+// zero).
+func (r *LatencyRecorder) Observe(d time.Duration) {
 	if d < 0 {
 		d = 0
 	}
@@ -55,7 +60,8 @@ func (r *latencyRecorder) observe(d time.Duration) {
 	r.mu.Unlock()
 }
 
-func (r *latencyRecorder) snapshot() LatencyStats {
+// Snapshot summarizes the recorder's current window.
+func (r *LatencyRecorder) Snapshot() LatencyStats {
 	r.mu.Lock()
 	window := append([]time.Duration(nil), r.ring...)
 	count := r.count

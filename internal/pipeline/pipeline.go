@@ -200,9 +200,9 @@ type Engine struct {
 	// batch service time (nanoseconds) feeding deadline admission.
 	// Streams are excluded from the EWMA: a paced stream's service time
 	// is clock-bound, not a measure of pool speed.
-	queueWaitHist latencyRecorder
-	frameLagHist  latencyRecorder
-	e2eHist       latencyRecorder
+	queueWaitHist LatencyRecorder
+	frameLagHist  LatencyRecorder
+	e2eHist       LatencyRecorder
 	serviceEWMA   atomic.Int64
 
 	// mu guards closed; inflight counts Submits past the closed check,
@@ -284,9 +284,9 @@ func (e *Engine) Stats() Stats {
 	if elapsed := e.clock.Now().Sub(e.start).Seconds(); elapsed > 0 {
 		s.FramesPerSecond = float64(s.Frames) / elapsed
 	}
-	s.QueueWait = e.queueWaitHist.snapshot()
-	s.FrameLag = e.frameLagHist.snapshot()
-	s.EndToEnd = e.e2eHist.snapshot()
+	s.QueueWait = e.queueWaitHist.Snapshot()
+	s.FrameLag = e.frameLagHist.Snapshot()
+	s.EndToEnd = e.e2eHist.Snapshot()
 	return s
 }
 
@@ -382,8 +382,8 @@ func (e *Engine) worker() {
 			res := run(j.ctx, j.req)
 			service := e.clock.Now().Sub(serviceStart)
 			res.QueueWait = wait
-			e.queueWaitHist.observe(wait)
-			e.e2eHist.observe(wait + service)
+			e.queueWaitHist.Observe(wait)
+			e.e2eHist.Observe(wait + service)
 			if res.Err == nil {
 				e.noteService(service)
 			}

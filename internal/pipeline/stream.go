@@ -142,7 +142,7 @@ func (e *Engine) runStream(j job) {
 		ChunkSamples: j.stream.ChunkSamples,
 	})
 	j.sh.queueWait = e.clock.Now().Sub(j.enq)
-	e.queueWaitHist.observe(j.sh.queueWait)
+	e.queueWaitHist.Observe(j.sh.queueWait)
 	j.sh.stream, j.sh.err = st, err
 	close(j.sh.started)
 	if err != nil {
@@ -155,9 +155,9 @@ func (e *Engine) runStream(j job) {
 	// stream stats are eventually consistent, not synchronized with Done.
 	<-st.Done()
 	e.frames.Add(int64(st.Emitted()))
-	e.e2eHist.observe(e.clock.Now().Sub(j.enq))
+	e.e2eHist.Observe(e.clock.Now().Sub(j.enq))
 	for _, lag := range st.Lags() {
-		e.frameLagHist.observe(lag)
+		e.frameLagHist.Observe(lag)
 	}
 	if st.Err() != nil {
 		e.failed.Add(1)

@@ -1,0 +1,185 @@
+package serve
+
+// Serve-tier observability. The server keeps its own handler-level
+// counters (requests by endpoint and status, handler latency, streamed
+// frame lag) in the same bounded-reservoir recorders the engine uses
+// (pipeline.LatencyRecorder), so every layer of the stack reports
+// identical percentile math. GET /v1/stats returns the JSON form; GET
+// /metrics renders the same figures — plus the engine's own Stats() —
+// in Prometheus text exposition format.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wivi"
+	"wivi/internal/pipeline"
+)
+
+// metrics aggregates the serve tier's own counters.
+type metrics struct {
+	mu       sync.Mutex
+	requests map[requestKey]int64
+
+	activeStreams  atomic.Int64
+	framesStreamed atomic.Int64
+
+	requestLatency pipeline.LatencyRecorder
+	frameLag       pipeline.LatencyRecorder
+}
+
+// requestKey labels one requests-counter cell.
+type requestKey struct {
+	endpoint string
+	code     int
+}
+
+func (m *metrics) countRequest(endpoint string, code int) {
+	m.mu.Lock()
+	if m.requests == nil {
+		m.requests = make(map[requestKey]int64)
+	}
+	m.requests[requestKey{endpoint, code}]++
+	m.mu.Unlock()
+}
+
+// requestCounts snapshots the requests counter in deterministic order.
+func (m *metrics) requestCounts() ([]requestKey, []int64) {
+	m.mu.Lock()
+	keys := make([]requestKey, 0, len(m.requests))
+	for k := range m.requests {
+		keys = append(keys, k)
+	}
+	m.mu.Unlock()
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].endpoint != keys[j].endpoint {
+			return keys[i].endpoint < keys[j].endpoint
+		}
+		return keys[i].code < keys[j].code
+	})
+	counts := make([]int64, len(keys))
+	m.mu.Lock()
+	for i, k := range keys {
+		counts[i] = m.requests[k]
+	}
+	m.mu.Unlock()
+	return keys, counts
+}
+
+// profile converts the recorder snapshot into the public latency shape.
+func profile(s pipeline.LatencyStats) wivi.LatencyProfile {
+	return wivi.LatencyProfile{Count: s.Count, P50: s.P50, P95: s.P95, P99: s.P99}
+}
+
+// ServeStats is the serve tier's own half of GET /v1/stats.
+type ServeStats struct {
+	// Draining reports whether the server has begun its graceful drain.
+	Draining bool `json:"draining"`
+	// ActiveRequests counts /v1/track handlers currently executing;
+	// ActiveStreams is their streaming subset.
+	ActiveRequests int `json:"active_requests"`
+	ActiveStreams  int `json:"active_streams"`
+	// FramesStreamed counts frames written to clients over the wire.
+	FramesStreamed int64 `json:"frames_streamed"`
+	// RequestLatency distributes /v1/track handler latency (receipt to
+	// final byte, every outcome); FrameLag distributes the engine lag of
+	// frames at the moment the server wrote them to the wire.
+	RequestLatency wivi.LatencyProfile `json:"request_latency"`
+	FrameLag       wivi.LatencyProfile `json:"frame_lag"`
+	// RequestsByCode counts finished requests per "endpoint code" pair,
+	// e.g. "/v1/track 200".
+	RequestsByCode map[string]int64 `json:"requests_by_code,omitempty"`
+}
+
+// StatsResponse is the body of GET /v1/stats.
+type StatsResponse struct {
+	// Engine is the fronted engine's Stats() snapshot.
+	Engine wivi.EngineStats `json:"engine"`
+	// Serve is the HTTP tier's own counters.
+	Serve ServeStats `json:"serve"`
+}
+
+// serveStats snapshots the tier for /v1/stats.
+func (s *Server) serveStats() ServeStats {
+	st := ServeStats{
+		Draining:       s.Draining(),
+		ActiveRequests: s.activeRequests(),
+		ActiveStreams:  int(s.m.activeStreams.Load()),
+		FramesStreamed: s.m.framesStreamed.Load(),
+		RequestLatency: profile(s.m.requestLatency.Snapshot()),
+		FrameLag:       profile(s.m.frameLag.Snapshot()),
+	}
+	keys, counts := s.m.requestCounts()
+	if len(keys) > 0 {
+		st.RequestsByCode = make(map[string]int64, len(keys))
+		for i, k := range keys {
+			st.RequestsByCode[fmt.Sprintf("%s %d", k.endpoint, k.code)] = counts[i]
+		}
+	}
+	return st
+}
+
+// writeProm renders the engine and serve figures in Prometheus text
+// exposition format (version 0.0.4): counters as *_total, quantile
+// summaries for every latency dimension, durations in seconds.
+func (s *Server) writeProm(w io.Writer) {
+	est := s.cfg.Engine.Stats()
+
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+	counter := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %g\n", name, help, name, name, v)
+	}
+	summary := func(name, help string, p wivi.LatencyProfile) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s summary\n", name, help, name)
+		for _, q := range []struct {
+			q string
+			d time.Duration
+		}{{"0.5", p.P50}, {"0.95", p.P95}, {"0.99", p.P99}} {
+			fmt.Fprintf(w, "%s{quantile=%q} %g\n", name, q.q, q.d.Seconds())
+		}
+		fmt.Fprintf(w, "%s_count %d\n", name, p.Count)
+	}
+
+	gauge("wivi_engine_workers", "Engine worker pool size.", float64(est.Workers))
+	gauge("wivi_engine_max_streams", "Concurrent stream admission cap.", float64(est.MaxStreams))
+	gauge("wivi_engine_queued", "Accepted requests no worker has picked up yet.", float64(est.Queued))
+	gauge("wivi_engine_in_flight", "Requests executing right now.", float64(est.InFlight))
+	gauge("wivi_engine_active_streams", "Streaming subset of in-flight requests.", float64(est.ActiveStreams))
+	counter("wivi_engine_completed_total", "Requests finished without error.", float64(est.Completed))
+	counter("wivi_engine_failed_total", "Requests finished with an error.", float64(est.Failed))
+	counter("wivi_engine_frames_total", "Image frames produced by finished requests.", float64(est.Frames))
+	gauge("wivi_engine_frames_per_second", "Lifetime mean frame throughput.", est.FramesPerSecond)
+	summary("wivi_engine_queue_wait_seconds", "Time requests sat accepted but unpicked.", est.QueueWait)
+	summary("wivi_engine_frame_lag_seconds", "Streamed frame emit-vs-arrival lag.", est.FrameLag)
+	summary("wivi_engine_end_to_end_seconds", "Accept-to-completion latency.", est.EndToEnd)
+
+	sst := s.serveStats()
+	gauge("wivi_serve_draining", "1 while the server drains for shutdown.", boolGauge(sst.Draining))
+	gauge("wivi_serve_active_requests", "Track handlers executing right now.", float64(sst.ActiveRequests))
+	gauge("wivi_serve_active_streams", "Streaming subset of active requests.", float64(sst.ActiveStreams))
+	counter("wivi_serve_stream_frames_total", "Frames written to clients over the wire.", float64(sst.FramesStreamed))
+	summary("wivi_serve_request_duration_seconds", "Track handler latency, receipt to final byte.", sst.RequestLatency)
+	summary("wivi_serve_frame_lag_seconds", "Engine lag of frames when written to the wire.", sst.FrameLag)
+
+	keys, counts := s.m.requestCounts()
+	if len(keys) > 0 {
+		fmt.Fprintf(w, "# HELP wivi_serve_requests_total Finished requests by endpoint and status code.\n")
+		fmt.Fprintf(w, "# TYPE wivi_serve_requests_total counter\n")
+		for i, k := range keys {
+			fmt.Fprintf(w, "wivi_serve_requests_total{endpoint=%q,code=\"%d\"} %d\n", k.endpoint, k.code, counts[i])
+		}
+	}
+}
+
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
