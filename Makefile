@@ -1,11 +1,11 @@
 # Tier-1 gate, mirrored by .github/workflows/ci.yml.
-.PHONY: check fmt vet staticcheck lint build examples test smoke smoke-serve bench bench-json
+.PHONY: check fmt vet staticcheck lint build examples test smoke smoke-serve smoke-pool bench bench-json
 
 # Pinned staticcheck release, mirrored by CI. Bump deliberately: a new
 # release can add checks and turn a green tree red.
 STATICCHECK_VERSION = 2025.1.1
 
-check: fmt vet staticcheck lint build examples test smoke smoke-serve
+check: fmt vet staticcheck lint build examples test smoke smoke-serve smoke-pool
 
 # gofmt gate: fail (and list the offenders) if any file needs formatting.
 fmt:
@@ -79,6 +79,32 @@ smoke-serve:
 	kill -TERM $$pid; wait $$pid; \
 	echo "smoke-serve: daemon served, measured and drained cleanly"
 
+# Pool smoke (mirrored by CI): first the noisy-neighbor fault-injection
+# suite in-process (wivi-bench -serve -tenants saturates tenant t0 to
+# typed 429s while tenant t1's streams must hold their frame-lag SLO),
+# then a multi-tenant wivi-serve daemon — tenant-routed /v1/track,
+# per-tenant /v1/stats, tenant-labeled /metrics series — with a clean
+# graceful-drain exit.
+smoke-pool:
+	@set -e; tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	go build -o $$tmp/wivi-serve ./cmd/wivi-serve; \
+	go build -o $$tmp/wivi-bench ./cmd/wivi-bench; \
+	$$tmp/wivi-bench -serve -tenants 2 -batch 2 -trackdur 1 -json > $$tmp/pool.json; \
+	grep -q '"tenant_isolation": true' $$tmp/pool.json; \
+	$$tmp/wivi-serve -addr 127.0.0.1:0 -addr-file $$tmp/addr -devices 2 -tenants acme,globex -maxdur 3 & pid=$$!; \
+	for i in $$(seq 1 100); do [ -s $$tmp/addr ] && break; sleep 0.1; done; \
+	[ -s $$tmp/addr ] || { echo "wivi-serve never wrote its address"; kill $$pid; exit 1; }; \
+	addr=$$(cat $$tmp/addr); \
+	curl -fsS -X POST -H 'X-Wivi-Tenant: acme' -d '{"device":"dev0","duration_s":1}' http://$$addr/v1/track > $$tmp/track.json; \
+	grep -q '"tenant":"acme"' $$tmp/track.json; \
+	curl -fsS "http://$$addr/v1/stats?tenant=acme" > $$tmp/stats.json; \
+	grep -q '"tenant":"acme"' $$tmp/stats.json; \
+	curl -fsS http://$$addr/metrics > $$tmp/metrics; \
+	grep -q '^wivi_engine_completed_total{tenant="acme"} 1' $$tmp/metrics; \
+	grep -q '^wivi_pool_active_engines' $$tmp/metrics; \
+	kill -TERM $$pid; wait $$pid; \
+	echo "smoke-pool: multi-tenant daemon isolated, measured and drained cleanly"
+
 # Engine benchmarks: sequential vs parallel batch tracking, streamed
 # frames/s, the paced chain's per-frame lag (wall-clock bound), and —
 # with -benchmem — allocs/op, the number the incremental kernel's
@@ -94,10 +120,14 @@ bench:
 
 # Machine-readable bench trajectory: every engine mode with -json
 # (schema "wivi-bench/1", see cmd/wivi-bench/report.go), merged into
-# one $(BENCH_OUT). CI runs the same recipe (plus jq gates) and uploads
-# the file as a per-PR artifact. The stream mode runs cold
+# one $(BENCH_OUT) and asserted by the shared scripts/bench-gate.sh
+# harness — the exact invocation CI's bench job runs, so a gate that
+# passes here passes there. CI overrides BENCH_OUT with the per-PR
+# artifact name and uploads the file. The stream mode runs cold
 # (-eigkeyframe 1, from-scratch eig every frame) and warm (default
-# keyframe cadence) so the warm-start speedup is visible in one file.
+# keyframe cadence) so the warm-start speedup is visible in one file;
+# the second serve run drives the multi-tenant pool's noisy-neighbor
+# suite for the per-tenant SLO and tenant_isolation gates.
 BENCH_OUT = BENCH_local.json
 bench-json:
 	go run ./cmd/wivi-bench -batch 4 -trackdur 2 -json  > bench-batch.json
@@ -106,8 +136,11 @@ bench-json:
 	go run ./cmd/wivi-bench -mixed -batch 2 -trackdur 2 -json  > bench-mixed.json
 	go run ./cmd/wivi-bench -paced -batch 2 -trackdur 2 -json  > bench-paced.json
 	go run ./cmd/wivi-bench -serve -batch 4 -trackdur 2 -json  > bench-serve.json
+	go run ./cmd/wivi-bench -serve -tenants 2 -batch 4 -trackdur 2 -json > bench-serve-tenants.json
 	jq -s '{schema: "wivi-bench/1", runs: .}' \
 		bench-batch.json bench-stream-cold.json bench-stream.json \
-		bench-mixed.json bench-paced.json bench-serve.json > $(BENCH_OUT)
-	rm -f bench-batch.json bench-stream-cold.json bench-stream.json bench-mixed.json bench-paced.json bench-serve.json
+		bench-mixed.json bench-paced.json bench-serve.json \
+		bench-serve-tenants.json > $(BENCH_OUT)
+	rm -f bench-batch.json bench-stream-cold.json bench-stream.json bench-mixed.json bench-paced.json bench-serve.json bench-serve-tenants.json
 	@echo "wrote $(BENCH_OUT)"
+	scripts/bench-gate.sh $(BENCH_OUT)

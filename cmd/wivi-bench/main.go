@@ -50,6 +50,15 @@
 // spectra bitwise, and reports requests/s, requests/s within the SLO
 // (one capture duration of wall clock) and wire latency percentiles.
 //
+// With -tenants N (N >= 2), serve mode instead drives an in-process
+// multi-tenant pool (internal/pool behind internal/serve): tenant t0
+// gets a deliberately tiny budget and paced devices, is saturated with
+// concurrent streams and probed until it returns typed 429
+// "tenant_saturated" rejections, while every other tenant's -batch
+// requests run concurrently and must keep meeting the SLO — the
+// noisy-neighbor fault-injection suite. The report carries per-tenant
+// requests_at_slo_per_s and a tenant_isolation verdict.
+//
 // Every engine mode accepts -json: the mode's figures are emitted as a
 // single JSON object on stdout (schema "wivi-bench/1", see report.go)
 // while the narration moves to stderr, so runs are machine-comparable
@@ -90,6 +99,7 @@ func main() {
 		paced    = flag.Bool("paced", false, "real-time paced mode: -batch (default 2) concurrent paced streams with wall-clock SLO enforcement")
 		serveOn  = flag.Bool("serve", false, "load-generator mode: drive a wivi-serve daemon over HTTP with -batch (default 4) batch + -batch stream requests, reporting requests-per-second-at-SLO")
 		addr     = flag.String("addr", "", "wivi-serve base URL for -serve mode (e.g. http://127.0.0.1:8080; empty starts an in-process server)")
+		tenants  = flag.Int("tenants", 0, "serve mode: drive an in-process multi-tenant pool with this many tenants (>= 2), saturating tenant t0 to typed 429s while measuring the others' per-tenant SLO attainment")
 		jsonOut  = flag.Bool("json", false, "emit a machine-readable JSON report on stdout (narration moves to stderr)")
 		eigEvery = flag.Int("eigkeyframe", 0, "eig keyframe cadence for -stream mode devices: 0 = default, 1 = from-scratch eig every frame (the warm-start ablation/baseline)")
 	)
@@ -129,10 +139,20 @@ func main() {
 	if *addr != "" && !*serveOn {
 		log.Fatal("-addr only applies to -serve mode")
 	}
+	if *tenants != 0 && !*serveOn {
+		log.Fatal("-tenants only applies to -serve mode")
+	}
+	if *tenants != 0 && *addr != "" {
+		log.Fatal("-tenants drives an in-process pool and is incompatible with -addr")
+	}
 
 	if *serveOn {
 		if *batch < 1 {
 			*batch = 4
+		}
+		if *tenants != 0 {
+			finish(runServeTenantsMode(out, *batch, *workers, *seed, *trackDur, *tenants))
+			return
 		}
 		finish(runServeMode(out, *batch, *workers, *seed, *trackDur, *addr))
 		return

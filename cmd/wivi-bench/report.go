@@ -41,6 +41,19 @@ package main
 //	                 the latency SLO (one capture duration)       (serve)
 //	slo_ok_fraction  fraction of requests that met the SLO        (serve)
 //	request_p50_ms / _p95_ms / _p99_ms   wire request latency     (serve)
+//	tenants          per-tenant figures, keyed by tenant name
+//	                 (serve -tenants): requests, requests_per_s,
+//	                 requests_at_slo_per_s, slo_ok_fraction,
+//	                 request_p95_ms, frame_lag_p95_ms, rejected
+//	                 (typed tenant_saturated 429s), saturated
+//	                 (true on the injected noisy tenant). A batch
+//	                 request is at SLO when it finishes within one
+//	                 capture duration; a streamed one when its p95
+//	                 frame lag stays under one analysis window.
+//	tenant_isolation noisy-neighbor proof (serve -tenants): the
+//	                 saturated tenant drew typed 429s while every
+//	                 victim tenant's streams held p95 frame lag
+//	                 under one window and met the SLO
 
 import (
 	"encoding/json"
@@ -93,11 +106,29 @@ type benchReport struct {
 	RequestP95Ms        float64 `json:"request_p95_ms,omitempty"`
 	RequestP99Ms        float64 `json:"request_p99_ms,omitempty"`
 
+	Tenants         map[string]tenantFigures `json:"tenants,omitempty"`
+	TenantIsolation bool                     `json:"tenant_isolation,omitempty"`
+
 	PerMode map[string]modeFigures `json:"per_mode,omitempty"`
 	Engine  *engineFigures         `json:"engine,omitempty"`
 
 	Experiments int `json:"experiments,omitempty"`
 	Failures    int `json:"failures"`
+}
+
+// tenantFigures are one tenant's aggregates in serve -tenants mode.
+// Rejected is the router's lifetime typed-429 count for the tenant;
+// Saturated marks the tenant the noisy-neighbor phase deliberately
+// drove to its budget.
+type tenantFigures struct {
+	Requests            int     `json:"requests"`
+	RequestsPerSec      float64 `json:"requests_per_s"`
+	RequestsAtSLOPerSec float64 `json:"requests_at_slo_per_s"`
+	SLOOkFraction       float64 `json:"slo_ok_fraction"`
+	RequestP95Ms        float64 `json:"request_p95_ms"`
+	FrameLagP95Ms       float64 `json:"frame_lag_p95_ms,omitempty"`
+	Rejected            int64   `json:"rejected"`
+	Saturated           bool    `json:"saturated,omitempty"`
 }
 
 // modeFigures are the per-kind aggregates of the mixed mode.

@@ -12,6 +12,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -21,6 +22,7 @@ import (
 	"time"
 
 	"wivi"
+	"wivi/internal/pool"
 	"wivi/internal/serve"
 )
 
@@ -214,12 +216,320 @@ func runServeMode(out io.Writer, batch, workers int, seed int64, trackDur float6
 	return rep, nil
 }
 
+// runServeTenantsMode is the noisy-neighbor fault-injection suite: it
+// spins up an in-process multi-tenant pool behind internal/serve,
+// deliberately saturates tenant t0 (tiny budget, paced devices, two
+// concurrent streams) until the router answers with typed 429
+// "tenant_saturated", and concurrently drives every other tenant's load
+// to prove their streams keep meeting the frame-lag SLO. Per-tenant
+// figures land in the report's tenants map; tenant_isolation is the
+// verdict CI gates on.
+//
+//wivi:wallclock benchmark harness measures real elapsed wall time by design
+func runServeTenantsMode(out io.Writer, batch, workers int, seed int64, trackDur float64, tenants int) (*benchReport, error) {
+	if tenants < 2 {
+		return nil, fmt.Errorf("-tenants needs at least 2 tenants (the noisy tenant plus victims), got %d", tenants)
+	}
+	names := make([]string, tenants)
+	for i := range names {
+		names[i] = fmt.Sprintf("t%d", i)
+	}
+	noisy, victims := names[0], names[1:]
+	rep := newBenchReport("serve", workers, len(victims)*batch+2, trackDur)
+	ctx := context.Background()
+
+	// Per-tenant device fleets: two identically-seeded replicas each, so
+	// every tenant offers the wire-identity check a bit-identical pair.
+	// The noisy tenant's replicas are paced — its captures consume real
+	// wall clock, which is what lets two concurrent streams pin it at
+	// its budget for a deterministic saturation window.
+	factory := func(tenant string) (map[string]*wivi.Device, error) {
+		registry := make(map[string]*wivi.Device, 2)
+		for _, name := range []string{"dev0", "dev1"} {
+			sc := wivi.NewScene(wivi.SceneOptions{Seed: seed})
+			if err := sc.AddWalker(trackDur + 1); err != nil {
+				return nil, err
+			}
+			dev, err := wivi.NewDevice(sc, wivi.DeviceOptions{Paced: tenant == noisy})
+			if err != nil {
+				return nil, err
+			}
+			registry[name] = dev
+		}
+		return registry, nil
+	}
+
+	// The noisy tenant admits exactly two requests (maxInflight =
+	// Workers + QueueDepth = 2); victims get the full -workers budget.
+	// Two streams therefore saturate t0 without touching anyone else.
+	router := pool.NewRouter(pool.Options{
+		Budget:  pool.Budget{Workers: workers},
+		Budgets: map[string]pool.Budget{noisy: {Workers: 1, QueueDepth: 1, MaxStreams: 2}},
+		Tenants: names,
+		Devices: factory,
+	})
+	defer router.Close()
+	srv, err := serve.New(serve.Config{Pool: router})
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	hs := &http.Server{Handler: srv}
+	go hs.Serve(ln)
+	defer hs.Close()
+	addr := "http://" + ln.Addr().String()
+	fmt.Fprintf(out, "serve mode: in-process multi-tenant pool on %s (%d tenants, noisy neighbor %s)\n",
+		addr, tenants, noisy)
+
+	clients := make(map[string]*serve.Client, tenants)
+	for _, n := range names {
+		clients[n] = &serve.Client{BaseURL: addr, Tenant: n}
+	}
+
+	// Wire identity per victim tenant: each tenant's replicas must
+	// stream bit-identical spectra across the serialize/deserialize
+	// cycle — determinism holds inside every tenant's fleet.
+	for _, v := range victims {
+		first, res, err := collectStreamResult(ctx, clients[v], "dev0", trackDur)
+		if err != nil {
+			return nil, fmt.Errorf("identity stream on %s/dev0: %w", v, err)
+		}
+		second, _, err := collectStreamResult(ctx, clients[v], "dev1", trackDur)
+		if err != nil {
+			return nil, fmt.Errorf("identity stream on %s/dev1: %w", v, err)
+		}
+		if !framesIdentical(first, second) {
+			return rep, fmt.Errorf("wire identity violated: tenant %s replica streams differ", v)
+		}
+		if rep.WindowMs == 0 {
+			rep.WindowMs = res.WindowMs
+		}
+	}
+	rep.Identity = true
+	fmt.Fprintf(out, "  wire identity: replica streams bit-identical on %d victim tenants\n", len(victims))
+
+	type reqSample struct {
+		stream  bool
+		latency time.Duration
+		lags    []time.Duration
+		err     error
+	}
+	slo := time.Duration(trackDur * float64(time.Second))
+	// A batch request is at SLO when it finishes within one capture
+	// duration; a stream when its p95 frame lag stays under one window
+	// (the paced-mode SLO — a live stream is keeping up exactly when
+	// frames emerge at the radio's cadence).
+	atSLO := func(s reqSample) bool {
+		if s.err != nil {
+			return false
+		}
+		if s.stream {
+			return len(s.lags) > 0 && percentileMs(s.lags, 95) < rep.WindowMs
+		}
+		return s.latency <= slo
+	}
+	start := time.Now()
+
+	// Saturate: two paced streams pin the noisy tenant at its budget.
+	noisySamples := make([]reqSample, 2)
+	var noisyWG sync.WaitGroup
+	for i, dev := range []string{"dev0", "dev1"} {
+		noisyWG.Add(1)
+		go func(i int, dev string) {
+			defer noisyWG.Done()
+			t0 := time.Now()
+			frames, _, err := collectStreamResult(ctx, clients[noisy], dev, trackDur)
+			if err == nil && len(frames) == 0 {
+				err = fmt.Errorf("stream returned no frames")
+			}
+			noisySamples[i] = reqSample{stream: true, latency: time.Since(t0), lags: frameLags(frames), err: err}
+		}(i, dev)
+	}
+	admitDeadline := time.Now().Add(10*time.Second + 2*slo)
+	for {
+		st, err := clients[noisy].Stats(ctx)
+		if err != nil {
+			return rep, fmt.Errorf("polling noisy-tenant stats: %w", err)
+		}
+		if st.Pool != nil && st.Pool.Tenants[noisy].InFlight >= 2 {
+			break
+		}
+		if time.Now().After(admitDeadline) {
+			return rep, fmt.Errorf("noisy tenant %s never reached its budget", noisy)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Victim load, concurrent with the saturation window: each victim
+	// tenant runs -batch requests, alternating batch and stream.
+	victimSamples := make(map[string][]reqSample, len(victims))
+	victimElapsed := make(map[string]time.Duration, len(victims))
+	var victimWG sync.WaitGroup
+	var vmu sync.Mutex
+	for _, v := range victims {
+		victimWG.Add(1)
+		go func(v string) {
+			defer victimWG.Done()
+			samples := make([]reqSample, batch)
+			t0 := time.Now()
+			for i := range samples {
+				dev := []string{"dev0", "dev1"}[i%2]
+				r0 := time.Now()
+				if i%2 == 1 {
+					frames, _, serr := collectStreamResult(ctx, clients[v], dev, trackDur)
+					if serr == nil && len(frames) == 0 {
+						serr = fmt.Errorf("stream returned no frames")
+					}
+					samples[i] = reqSample{stream: true, latency: time.Since(r0), lags: frameLags(frames), err: serr}
+				} else {
+					_, terr := clients[v].Track(ctx, serve.TrackRequest{Device: dev, DurationS: trackDur})
+					samples[i] = reqSample{latency: time.Since(r0), err: terr}
+				}
+			}
+			vmu.Lock()
+			victimSamples[v] = samples
+			victimElapsed[v] = time.Since(t0)
+			vmu.Unlock()
+		}(v)
+	}
+
+	// Fault injection: while the noisy tenant sits at its budget, every
+	// probe must come back as the typed 429 — never an untyped error,
+	// never a stall, and never at another tenant's expense.
+	rejected429 := 0
+	for i := 0; i < 5; i++ {
+		_, perr := clients[noisy].Track(ctx, serve.TrackRequest{Device: "dev0", DurationS: trackDur})
+		if perr == nil {
+			break // a slot freed — the saturation window ended
+		}
+		var apiErr *serve.APIError
+		if !errors.As(perr, &apiErr) || apiErr.Status != http.StatusTooManyRequests || apiErr.Code != serve.CodeTenantSaturated {
+			return rep, fmt.Errorf("saturated-tenant probe drew the wrong rejection: %v", perr)
+		}
+		rejected429++
+		time.Sleep(20 * time.Millisecond)
+	}
+	if rejected429 == 0 {
+		return rep, fmt.Errorf("noisy tenant %s at budget was never refused with %s", noisy, serve.CodeTenantSaturated)
+	}
+
+	victimWG.Wait()
+	noisyWG.Wait()
+	elapsed := time.Since(start)
+	rep.ElapsedS = elapsed.Seconds()
+
+	// Per-tenant figures plus the isolation verdict.
+	full, err := (&serve.Client{BaseURL: addr}).Stats(ctx)
+	if err != nil {
+		return rep, fmt.Errorf("reading pool stats: %w", err)
+	}
+	tenantFigure := func(name string, samples []reqSample, span time.Duration, saturated bool) (tenantFigures, error) {
+		var lats, lags []time.Duration
+		ok := 0
+		for _, s := range samples {
+			if s.err != nil {
+				return tenantFigures{}, fmt.Errorf("tenant %s request failed: %w", name, s.err)
+			}
+			lats = append(lats, s.latency)
+			lags = append(lags, s.lags...)
+			if atSLO(s) {
+				ok++
+			}
+		}
+		f := tenantFigures{
+			Requests:            len(samples),
+			RequestsPerSec:      float64(len(samples)) / span.Seconds(),
+			RequestsAtSLOPerSec: float64(ok) / span.Seconds(),
+			SLOOkFraction:       float64(ok) / float64(len(samples)),
+			RequestP95Ms:        percentileMs(lats, 95),
+			FrameLagP95Ms:       percentileMs(lags, 95),
+			Saturated:           saturated,
+		}
+		if full.Pool != nil {
+			f.Rejected = full.Pool.Tenants[name].Rejected
+		}
+		return f, nil
+	}
+	rep.Tenants = make(map[string]tenantFigures, tenants)
+	var noisySpan time.Duration
+	for _, s := range noisySamples {
+		if s.latency > noisySpan {
+			noisySpan = s.latency
+		}
+	}
+	if rep.Tenants[noisy], err = tenantFigure(noisy, noisySamples, noisySpan, true); err != nil {
+		return rep, err
+	}
+	isolation := rep.Identity && rep.Tenants[noisy].RequestsAtSLOPerSec > 0
+	var all []reqSample
+	all = append(all, noisySamples...)
+	for _, v := range victims {
+		if rep.Tenants[v], err = tenantFigure(v, victimSamples[v], victimElapsed[v], false); err != nil {
+			return rep, err
+		}
+		if rep.Tenants[v].RequestsAtSLOPerSec <= 0 {
+			isolation = false
+		}
+		for _, s := range victimSamples[v] {
+			// The acceptance bar: the victim's *streams* hold p95 frame
+			// lag under one window while the neighbor is saturated.
+			if s.stream && !atSLO(s) {
+				isolation = false
+			}
+		}
+		all = append(all, victimSamples[v]...)
+	}
+	rep.TenantIsolation = isolation
+
+	var lats []time.Duration
+	okAtSLO := 0
+	for _, s := range all {
+		lats = append(lats, s.latency)
+		if atSLO(s) {
+			okAtSLO++
+		}
+	}
+	rep.RequestsPerSec = float64(len(all)) / elapsed.Seconds()
+	rep.RequestsAtSLOPerSec = float64(okAtSLO) / elapsed.Seconds()
+	rep.SLOOkFraction = float64(okAtSLO) / float64(len(all))
+	rep.RequestP50Ms = percentileMs(lats, 50)
+	rep.RequestP95Ms = percentileMs(lats, 95)
+	rep.RequestP99Ms = percentileMs(lats, 99)
+	if st, err := clients[victims[0]].Stats(ctx); err == nil {
+		rep.Engine = snapshotEngine(st.Engine)
+	}
+
+	fmt.Fprintf(out, "  noisy neighbor: %s held at budget, drew %d typed 429s (router counted %d)\n",
+		noisy, rejected429, rep.Tenants[noisy].Rejected)
+	for _, n := range names {
+		f := rep.Tenants[n]
+		fmt.Fprintf(out, "  tenant %-4s %d requests, %.2f req/s (%.2f at SLO, %.0f%%), p95 %.1f ms, lag p95 %.2f ms, rejected %d\n",
+			n, f.Requests, f.RequestsPerSec, f.RequestsAtSLOPerSec, 100*f.SLOOkFraction,
+			f.RequestP95Ms, f.FrameLagP95Ms, f.Rejected)
+	}
+	fmt.Fprintf(out, "  tenant isolation: %v (victim streams held p95 lag < %.1f ms window under saturation)\n",
+		rep.TenantIsolation, rep.WindowMs)
+	if !rep.TenantIsolation {
+		return rep, fmt.Errorf("tenant isolation violated: a victim tenant missed its SLO while %s was saturated", noisy)
+	}
+	return rep, nil
+}
+
 // collectStream runs one streamed request to completion and returns its
 // frames.
 func collectStream(ctx context.Context, client *serve.Client, device string, trackDur float64) ([]serve.Frame, error) {
+	frames, _, err := collectStreamResult(ctx, client, device, trackDur)
+	return frames, err
+}
+
+// collectStreamResult is collectStream plus the terminal result event.
+func collectStreamResult(ctx context.Context, client *serve.Client, device string, trackDur float64) ([]serve.Frame, *serve.TrackResponse, error) {
 	cs, err := client.TrackStream(ctx, serve.TrackRequest{Device: device, DurationS: trackDur})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defer cs.Close()
 	var frames []serve.Frame
@@ -231,12 +541,21 @@ func collectStream(ctx context.Context, client *serve.Client, device string, tra
 		frames = append(frames, fr)
 	}
 	if err := cs.Err(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if cs.Result() == nil {
-		return nil, fmt.Errorf("stream ended without a result event")
+		return nil, nil, fmt.Errorf("stream ended without a result event")
 	}
-	return frames, nil
+	return frames, cs.Result(), nil
+}
+
+// frameLags extracts each streamed frame's emission lag.
+func frameLags(frames []serve.Frame) []time.Duration {
+	lags := make([]time.Duration, len(frames))
+	for i, fr := range frames {
+		lags[i] = time.Duration(fr.LagMs * float64(time.Millisecond))
+	}
+	return lags
 }
 
 // framesIdentical compares two streamed captures bitwise (indices,

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strings"
 )
 
@@ -21,8 +22,21 @@ import (
 type Client struct {
 	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
 	BaseURL string
+	// Tenant scopes every call to one tenant (the X-Wivi-Tenant header
+	// on POSTs, the ?tenant= parameter on GETs); empty means the default
+	// tenant — existing single-tenant callers are unchanged. A non-empty
+	// TrackRequest.Tenant overrides it per request.
+	Tenant string
 	// HTTPClient overrides http.DefaultClient when set.
 	HTTPClient *http.Client
+}
+
+// tenantQuery renders the ?tenant= suffix for GET endpoints.
+func (c *Client) tenantQuery() string {
+	if c.Tenant == "" {
+		return ""
+	}
+	return "?tenant=" + url.QueryEscape(c.Tenant)
 }
 
 func (c *Client) http() *http.Client {
@@ -53,6 +67,9 @@ func (c *Client) postTrack(ctx context.Context, req TrackRequest) (*http.Respons
 		return nil, err
 	}
 	hr.Header.Set("Content-Type", "application/json")
+	if c.Tenant != "" {
+		hr.Header.Set(HeaderTenant, c.Tenant)
+	}
 	resp, err := c.http().Do(hr)
 	if err != nil {
 		return nil, err
@@ -158,7 +175,7 @@ func (s *ClientStream) Close() error { return s.body.Close() }
 
 // Devices fetches the server's device registry.
 func (c *Client) Devices(ctx context.Context) (*DevicesResponse, error) {
-	hr, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/devices", nil)
+	hr, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/devices"+c.tenantQuery(), nil)
 	if err != nil {
 		return nil, err
 	}
@@ -179,7 +196,7 @@ func (c *Client) Devices(ctx context.Context) (*DevicesResponse, error) {
 
 // Stats fetches /v1/stats.
 func (c *Client) Stats(ctx context.Context) (*StatsResponse, error) {
-	hr, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/stats", nil)
+	hr, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/stats"+c.tenantQuery(), nil)
 	if err != nil {
 		return nil, err
 	}

@@ -58,7 +58,7 @@ func (s *stubStream) WindowDuration() time.Duration  { return s.window }
 // newClockServer builds a Server on a manual FakeClock with a scripted
 // submit seam. The engine and device exist only to satisfy Config.
 func newClockServer(t *testing.T, clk *core.FakeClock, timeout time.Duration,
-	submit func(ctx context.Context, req wivi.Request) (handle, error)) *Server {
+	submit func(ctx context.Context, tenant string, req wivi.Request) (handle, error)) *Server {
 	t.Helper()
 	eng := wivi.NewEngine(wivi.EngineOptions{Workers: 1})
 	t.Cleanup(func() { eng.Close() })
@@ -85,7 +85,7 @@ func TestFakeClockRequestTimeout(t *testing.T) {
 	clk := core.NewFakeClock(time.Unix(0, 0), false)
 	started := make(chan struct{})
 	srv := newClockServer(t, clk, timeout,
-		func(ctx context.Context, req wivi.Request) (handle, error) {
+		func(ctx context.Context, tenant string, req wivi.Request) (handle, error) {
 			return &stubHandle{
 				started: started,
 				wait: func(ctx context.Context) (*wivi.Result, error) {
@@ -141,7 +141,7 @@ func TestFakeClockStreamLag(t *testing.T) {
 	st := &stubStream{frames: frames, window: 320 * time.Millisecond}
 	started := make(chan struct{})
 	srv := newClockServer(t, clk, 0,
-		func(ctx context.Context, req wivi.Request) (handle, error) {
+		func(ctx context.Context, tenant string, req wivi.Request) (handle, error) {
 			return &stubHandle{
 				started: started,
 				stream:  st,

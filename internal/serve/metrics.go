@@ -18,6 +18,7 @@ import (
 
 	"wivi"
 	"wivi/internal/pipeline"
+	"wivi/internal/pool"
 )
 
 // metrics aggregates the serve tier's own counters.
@@ -97,10 +98,14 @@ type ServeStats struct {
 
 // StatsResponse is the body of GET /v1/stats.
 type StatsResponse struct {
-	// Engine is the fronted engine's Stats() snapshot.
+	// Engine is the fronted engine's Stats() snapshot. Pool-backed
+	// servers put the default (or ?tenant=-selected) tenant's engine
+	// here so single-tenant dashboards keep working.
 	Engine wivi.EngineStats `json:"engine"`
 	// Serve is the HTTP tier's own counters.
 	Serve ServeStats `json:"serve"`
+	// Pool is the per-tenant snapshot; only pool-backed servers set it.
+	Pool *pool.Stats `json:"pool,omitempty"`
 }
 
 // serveStats snapshots the tier for /v1/stats.
@@ -123,17 +128,68 @@ func (s *Server) serveStats() ServeStats {
 	return st
 }
 
-// writeProm renders the engine and serve figures in Prometheus text
-// exposition format (version 0.0.4): counters as *_total, quantile
+// writeProm renders the engine, pool and serve figures in Prometheus
+// text exposition format (version 0.0.4): counters as *_total, quantile
 // summaries for every latency dimension, durations in seconds.
+//
+// Engine-backed servers emit the wivi_engine_* series unlabeled — the
+// PR 9 exposition, byte-compatible for existing scrapes. Pool-backed
+// servers emit the same series once per tenant with a {tenant="..."}
+// label (HELP/TYPE once, one sample per tenant, Prometheus's canonical
+// multi-series shape; an evicted or never-started tenant reports its
+// engine series as zeros) plus the wivi_pool_* routing-layer series.
 func (s *Server) writeProm(w io.Writer) {
-	est := s.cfg.Engine.Stats()
+	// engines lists each engine snapshot with its tenant label; "" means
+	// emit the sample unlabeled (single-engine mode).
+	type labeled struct {
+		tenant string
+		st     wivi.EngineStats
+	}
+	var engines []labeled
+	var pst pool.Stats
+	if s.cfg.Pool != nil {
+		pst = s.cfg.Pool.Stats()
+		names := make([]string, 0, len(pst.Tenants))
+		for name := range pst.Tenants {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			engines = append(engines, labeled{tenant: name, st: pst.Tenants[name].Engine})
+		}
+	} else {
+		engines = []labeled{{st: s.cfg.Engine.Stats()}}
+	}
 
+	sample := func(name, tenant string) string { return name + tenantSuffix(tenant) }
 	gauge := func(name, help string, v float64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
 	}
 	counter := func(name, help string, v float64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %g\n", name, help, name, name, v)
+	}
+	engSeries := func(name, typ, help string, get func(wivi.EngineStats) float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+		for _, e := range engines {
+			fmt.Fprintf(w, "%s %g\n", sample(name, e.tenant), get(e.st))
+		}
+	}
+	engSummary := func(name, help string, get func(wivi.EngineStats) wivi.LatencyProfile) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s summary\n", name, help, name)
+		for _, e := range engines {
+			p := get(e.st)
+			for _, q := range []struct {
+				q string
+				d time.Duration
+			}{{"0.5", p.P50}, {"0.95", p.P95}, {"0.99", p.P99}} {
+				if e.tenant == "" {
+					fmt.Fprintf(w, "%s{quantile=%q} %g\n", name, q.q, q.d.Seconds())
+				} else {
+					fmt.Fprintf(w, "%s{tenant=%q,quantile=%q} %g\n", name, e.tenant, q.q, q.d.Seconds())
+				}
+			}
+			fmt.Fprintf(w, "%s_count%s %d\n", name, tenantSuffix(e.tenant), p.Count)
+		}
 	}
 	summary := func(name, help string, p wivi.LatencyProfile) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s summary\n", name, help, name)
@@ -146,18 +202,50 @@ func (s *Server) writeProm(w io.Writer) {
 		fmt.Fprintf(w, "%s_count %d\n", name, p.Count)
 	}
 
-	gauge("wivi_engine_workers", "Engine worker pool size.", float64(est.Workers))
-	gauge("wivi_engine_max_streams", "Concurrent stream admission cap.", float64(est.MaxStreams))
-	gauge("wivi_engine_queued", "Accepted requests no worker has picked up yet.", float64(est.Queued))
-	gauge("wivi_engine_in_flight", "Requests executing right now.", float64(est.InFlight))
-	gauge("wivi_engine_active_streams", "Streaming subset of in-flight requests.", float64(est.ActiveStreams))
-	counter("wivi_engine_completed_total", "Requests finished without error.", float64(est.Completed))
-	counter("wivi_engine_failed_total", "Requests finished with an error.", float64(est.Failed))
-	counter("wivi_engine_frames_total", "Image frames produced by finished requests.", float64(est.Frames))
-	gauge("wivi_engine_frames_per_second", "Lifetime mean frame throughput.", est.FramesPerSecond)
-	summary("wivi_engine_queue_wait_seconds", "Time requests sat accepted but unpicked.", est.QueueWait)
-	summary("wivi_engine_frame_lag_seconds", "Streamed frame emit-vs-arrival lag.", est.FrameLag)
-	summary("wivi_engine_end_to_end_seconds", "Accept-to-completion latency.", est.EndToEnd)
+	engSeries("wivi_engine_workers", "gauge", "Engine worker pool size.",
+		func(e wivi.EngineStats) float64 { return float64(e.Workers) })
+	engSeries("wivi_engine_max_streams", "gauge", "Concurrent stream admission cap.",
+		func(e wivi.EngineStats) float64 { return float64(e.MaxStreams) })
+	engSeries("wivi_engine_queued", "gauge", "Accepted requests no worker has picked up yet.",
+		func(e wivi.EngineStats) float64 { return float64(e.Queued) })
+	engSeries("wivi_engine_in_flight", "gauge", "Requests executing right now.",
+		func(e wivi.EngineStats) float64 { return float64(e.InFlight) })
+	engSeries("wivi_engine_active_streams", "gauge", "Streaming subset of in-flight requests.",
+		func(e wivi.EngineStats) float64 { return float64(e.ActiveStreams) })
+	engSeries("wivi_engine_completed_total", "counter", "Requests finished without error.",
+		func(e wivi.EngineStats) float64 { return float64(e.Completed) })
+	engSeries("wivi_engine_failed_total", "counter", "Requests finished with an error.",
+		func(e wivi.EngineStats) float64 { return float64(e.Failed) })
+	engSeries("wivi_engine_frames_total", "counter", "Image frames produced by finished requests.",
+		func(e wivi.EngineStats) float64 { return float64(e.Frames) })
+	engSeries("wivi_engine_frames_per_second", "gauge", "Lifetime mean frame throughput.",
+		func(e wivi.EngineStats) float64 { return e.FramesPerSecond })
+	engSummary("wivi_engine_queue_wait_seconds", "Time requests sat accepted but unpicked.",
+		func(e wivi.EngineStats) wivi.LatencyProfile { return e.QueueWait })
+	engSummary("wivi_engine_frame_lag_seconds", "Streamed frame emit-vs-arrival lag.",
+		func(e wivi.EngineStats) wivi.LatencyProfile { return e.FrameLag })
+	engSummary("wivi_engine_end_to_end_seconds", "Accept-to-completion latency.",
+		func(e wivi.EngineStats) wivi.LatencyProfile { return e.EndToEnd })
+
+	if s.cfg.Pool != nil {
+		gauge("wivi_pool_active_engines", "Tenants holding a live engine right now.", float64(pst.ActiveEngines))
+		poolSeries := func(name, typ, help string, get func(pool.TenantStats) float64) {
+			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+			for _, e := range engines {
+				fmt.Fprintf(w, "%s %g\n", sample(name, e.tenant), get(pst.Tenants[e.tenant]))
+			}
+		}
+		poolSeries("wivi_pool_in_flight", "gauge", "Admitted requests not yet settled, per tenant.",
+			func(t pool.TenantStats) float64 { return float64(t.InFlight) })
+		poolSeries("wivi_pool_active_streams", "gauge", "Streaming subset of in-flight, per tenant.",
+			func(t pool.TenantStats) float64 { return float64(t.ActiveStreams) })
+		poolSeries("wivi_pool_submitted_total", "counter", "Requests admitted to the tenant's engine.",
+			func(t pool.TenantStats) float64 { return float64(t.Submitted) })
+		poolSeries("wivi_pool_rejected_total", "counter", "Requests rejected at the tenant's budget (the 429 series).",
+			func(t pool.TenantStats) float64 { return float64(t.Rejected) })
+		poolSeries("wivi_pool_evictions_total", "counter", "Idle engine evictions, per tenant.",
+			func(t pool.TenantStats) float64 { return float64(t.Evictions) })
+	}
 
 	sst := s.serveStats()
 	gauge("wivi_serve_draining", "1 while the server drains for shutdown.", boolGauge(sst.Draining))
@@ -182,4 +270,13 @@ func boolGauge(b bool) float64 {
 		return 1
 	}
 	return 0
+}
+
+// tenantSuffix renders the {tenant="..."} label set, empty for the
+// unlabeled single-engine exposition.
+func tenantSuffix(tenant string) string {
+	if tenant == "" {
+		return ""
+	}
+	return fmt.Sprintf("{tenant=%q}", tenant)
 }

@@ -1,24 +1,32 @@
 package serve
 
-// The wivi-serve HTTP tier: a stdlib-only daemon fronting a wivi.Engine.
+// The wivi-serve HTTP tier: a stdlib-only daemon fronting either a
+// single wivi.Engine or a multi-tenant pool.Router.
 //
 // Endpoint map:
 //
 //	POST /v1/track    submit one capture; JSON response, or NDJSON
 //	                  frame stream (flush-per-frame) when Stream is set
 //	GET  /v1/devices  registered device names + the duration cap
-//	GET  /v1/stats    engine + serve counters as JSON
-//	GET  /metrics     the same figures in Prometheus text format
+//	                  (?tenant= selects a tenant's registry)
+//	GET  /v1/stats    engine + serve (+ pool) counters as JSON
+//	                  (?tenant= narrows to one tenant)
+//	GET  /metrics     the same figures in Prometheus text format,
+//	                  tenant-labeled when a pool fronts the server
 //	GET  /healthz     liveness (503 once draining)
 //
 // The tier adds no processing of its own — frames cross the wire as the
 // exact float64 values the engine emitted (see wire.go), so the
 // batch/stream byte-identity invariant extends across serialization.
-// Admission control is the engine's: an infeasible Request.Deadline
+// Admission control is the backend's: an infeasible Request.Deadline
 // surfaces as HTTP 503 "deadline_infeasible" before the capture consumes
-// a worker. Graceful drain (Drain) rejects new requests with 503
-// "draining" while in-flight streams run to their final frame, mirroring
-// Engine.Close semantics one layer up.
+// a worker, and with a pool backend a tenant at its own budget gets 429
+// "tenant_saturated" without its request ever touching another tenant's
+// engine. The tenant is resolved from the request ("tenant" body field,
+// X-Wivi-Tenant header as fallback; empty means the default tenant, so
+// single-tenant clients are unchanged). Graceful drain (Drain) rejects
+// new requests with 503 "draining" while in-flight streams run to their
+// final frame, mirroring Engine.Close semantics one layer up.
 //
 // Every wall-clock read goes through the injected core.Clock, so the
 // request-timeout and latency-accounting paths run deterministically
@@ -36,6 +44,7 @@ import (
 
 	"wivi"
 	"wivi/internal/core"
+	"wivi/internal/pool"
 )
 
 // errRequestTimeout marks a request context canceled by the server's
@@ -47,12 +56,19 @@ var errRequestTimeout = errors.New("serve: request timeout")
 // but it keeps the requests-by-code counters honest.
 const statusClientClosedRequest = 499
 
-// Config assembles a Server.
+// Config assembles a Server. Exactly one backend must be set: Engine
+// (single-tenant, the PR 9 shape — wire layout unchanged) or Pool
+// (multi-tenant routing with per-tenant admission and stats).
 type Config struct {
-	// Engine is the scheduling pool every request submits to.
+	// Engine is the single scheduling pool every request submits to.
+	// Mutually exclusive with Pool.
 	Engine *wivi.Engine
-	// Devices is the device registry: request Device names resolve here.
-	// An empty request Device selects the lexicographically first name.
+	// Pool routes requests to per-tenant engines. Device registries come
+	// from the pool's own per-tenant factory, so Devices must be nil.
+	Pool *pool.Router
+	// Devices is the device registry of an Engine-backed server: request
+	// Device names resolve here. An empty request Device selects the
+	// lexicographically first name.
 	Devices map[string]*wivi.Device
 	// MaxDurationS caps per-request capture length in seconds (0 = none).
 	MaxDurationS float64
@@ -70,13 +86,14 @@ type Config struct {
 type Server struct {
 	cfg   Config
 	clock core.Clock
-	names []string // sorted device names
+	names []string // sorted device names (Engine backend only)
 	mux   *http.ServeMux
 	m     metrics
 
-	// submit is the engine seam: production wraps Engine.Submit, tests
-	// substitute scripted handles.
-	submit func(ctx context.Context, req wivi.Request) (handle, error)
+	// submit is the backend seam: production wraps Engine.Submit or
+	// Pool.Submit, tests substitute scripted handles. tenant is the
+	// resolved tenant name ("" for the default tenant).
+	submit func(ctx context.Context, tenant string, req wivi.Request) (handle, error)
 
 	// drain state: requests register while executing; Drain flips
 	// draining and waits for the count to reach zero.
@@ -104,12 +121,26 @@ func (e engineHandle) Wait(ctx context.Context) (*wivi.Result, error) { return e
 
 func (e engineHandle) Stream(ctx context.Context) (frameStream, error) { return e.h.Stream(ctx) }
 
-// New builds a Server over an engine and a device registry.
+// poolHandle adapts *pool.Handle to the handle seam.
+type poolHandle struct{ h *pool.Handle }
+
+func (p poolHandle) Wait(ctx context.Context) (*wivi.Result, error) { return p.h.Wait(ctx) }
+
+func (p poolHandle) Stream(ctx context.Context) (frameStream, error) { return p.h.Stream(ctx) }
+
+// New builds a Server over one backend: an engine plus its device
+// registry, or a tenant-routing pool (which owns its own registries).
 func New(cfg Config) (*Server, error) {
-	if cfg.Engine == nil {
-		return nil, errors.New("serve: nil engine")
+	if cfg.Engine == nil && cfg.Pool == nil {
+		return nil, errors.New("serve: nil engine and nil pool (set one)")
 	}
-	if len(cfg.Devices) == 0 {
+	if cfg.Engine != nil && cfg.Pool != nil {
+		return nil, errors.New("serve: both engine and pool set (set one)")
+	}
+	if cfg.Pool != nil && len(cfg.Devices) > 0 {
+		return nil, errors.New("serve: pool backend owns device registries; Devices must be nil")
+	}
+	if cfg.Engine != nil && len(cfg.Devices) == 0 {
 		return nil, errors.New("serve: empty device registry")
 	}
 	clock := cfg.Clock
@@ -121,12 +152,22 @@ func New(cfg Config) (*Server, error) {
 		s.names = append(s.names, name)
 	}
 	sort.Strings(s.names)
-	s.submit = func(ctx context.Context, req wivi.Request) (handle, error) {
-		h, err := cfg.Engine.Submit(ctx, req)
-		if err != nil {
-			return nil, err
+	if cfg.Pool != nil {
+		s.submit = func(ctx context.Context, tenant string, req wivi.Request) (handle, error) {
+			h, err := cfg.Pool.Submit(ctx, tenant, req)
+			if err != nil {
+				return nil, err
+			}
+			return poolHandle{h}, nil
 		}
-		return engineHandle{h}, nil
+	} else {
+		s.submit = func(ctx context.Context, tenant string, req wivi.Request) (handle, error) {
+			h, err := cfg.Engine.Submit(ctx, req)
+			if err != nil {
+				return nil, err
+			}
+			return engineHandle{h}, nil
+		}
 	}
 	s.drain.idle = make(chan struct{})
 	s.mux.HandleFunc("POST /v1/track", s.handleTrack)
@@ -230,6 +271,14 @@ func (s *Server) writeError(w http.ResponseWriter, endpoint string, status int, 
 // server's own timeout answers 504, a vanished client books as 499.
 func mapError(err error, timedOut, clientGone bool) (int, string) {
 	switch {
+	case errors.Is(err, pool.ErrTenantSaturated):
+		return http.StatusTooManyRequests, CodeTenantSaturated
+	case errors.Is(err, pool.ErrUnknownTenant):
+		return http.StatusNotFound, CodeUnknownTenant
+	case errors.Is(err, pool.ErrTenantDraining):
+		return http.StatusServiceUnavailable, CodeTenantDraining
+	case errors.Is(err, pool.ErrClosed):
+		return http.StatusServiceUnavailable, CodeEngineClosed
 	case errors.Is(err, wivi.ErrDeadlineInfeasible):
 		return http.StatusServiceUnavailable, CodeDeadlineInfeasible
 	case errors.Is(err, wivi.ErrEngineClosed):
@@ -245,8 +294,35 @@ func mapError(err error, timedOut, clientGone bool) (int, string) {
 	}
 }
 
-// handleTrack serves POST /v1/track: decode, admit, submit, then either
-// join the batch result or stream frames as NDJSON.
+// resolveTenant extracts the request's tenant: the body field first,
+// then the X-Wivi-Tenant header; empty means the default tenant.
+// Engine-backed servers accept only the default tenant — they are the
+// single-tenant deployment shape.
+func (s *Server) resolveTenant(r *http.Request, body string) (string, error) {
+	tenant := body
+	if tenant == "" {
+		tenant = r.Header.Get(HeaderTenant)
+	}
+	if s.cfg.Pool == nil && tenant != "" && tenant != pool.DefaultTenant {
+		return "", fmt.Errorf("%w: %q (single-tenant server)", pool.ErrUnknownTenant, tenant)
+	}
+	return tenant, nil
+}
+
+// tenantLabel is the name reported on wires and metrics: the effective
+// tenant for pool backends, "" (omitted) for single-engine servers.
+func (s *Server) tenantLabel(tenant string) string {
+	if s.cfg.Pool == nil {
+		return ""
+	}
+	if tenant == "" {
+		return pool.DefaultTenant
+	}
+	return tenant
+}
+
+// handleTrack serves POST /v1/track: decode, resolve the tenant, admit,
+// submit, then either join the batch result or stream frames as NDJSON.
 func (s *Server) handleTrack(w http.ResponseWriter, r *http.Request) {
 	const endpoint = "/v1/track"
 	start := s.clock.Now()
@@ -291,12 +367,31 @@ func (s *Server) handleTrack(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("deadline_ms must be non-negative, got %g", req.DeadlineMs))
 		return
 	}
-	name := req.Device
-	if name == "" {
-		name = s.names[0]
+	tenant, err := s.resolveTenant(r, req.Tenant)
+	if err != nil {
+		s.writeError(w, endpoint, http.StatusNotFound, CodeUnknownTenant, err.Error())
+		return
 	}
-	dev, ok := s.cfg.Devices[name]
-	if !ok {
+	name := req.Device
+	var dev *wivi.Device
+	if s.cfg.Pool != nil {
+		names, devs, derr := s.cfg.Pool.Devices(tenant)
+		if derr != nil {
+			status, code := mapError(derr, false, false)
+			s.writeError(w, endpoint, status, code, fmt.Sprintf("resolving tenant devices: %v", derr))
+			return
+		}
+		if name == "" && len(names) > 0 {
+			name = names[0]
+		}
+		dev = devs[name]
+	} else {
+		if name == "" {
+			name = s.names[0]
+		}
+		dev = s.cfg.Devices[name]
+	}
+	if dev == nil {
 		s.writeError(w, endpoint, http.StatusNotFound, CodeUnknownDevice,
 			fmt.Sprintf("device %q is not registered", name))
 		return
@@ -323,7 +418,7 @@ func (s *Server) handleTrack(w http.ResponseWriter, r *http.Request) {
 	}
 	clientGone := func() bool { return r.Context().Err() != nil && !timedOut() }
 
-	h, err := s.submit(ctx, wivi.Request{
+	h, err := s.submit(ctx, tenant, wivi.Request{
 		Device:   dev,
 		Duration: req.DurationS,
 		Mode:     mode,
@@ -336,8 +431,9 @@ func (s *Server) handleTrack(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	label := s.tenantLabel(tenant)
 	if req.Stream {
-		s.serveStream(w, ctx, endpoint, name, req.Mode, h, timedOut, clientGone)
+		s.serveStream(w, ctx, endpoint, label, name, req.Mode, h, timedOut, clientGone)
 		return
 	}
 
@@ -348,17 +444,18 @@ func (s *Server) handleTrack(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.m.countRequest(endpoint, http.StatusOK)
-	writeJSON(w, http.StatusOK, s.trackResponse(name, req.Mode, res, 0))
+	writeJSON(w, http.StatusOK, s.trackResponse(label, name, req.Mode, res, 0))
 }
 
 // trackResponse assembles the wire result. windowMs is carried only by
 // streamed responses (batch clients have no frame-lag SLO to hold it
-// against).
-func (s *Server) trackResponse(device, mode string, res *wivi.Result, windowMs float64) *TrackResponse {
+// against); tenant only by pool-backed servers.
+func (s *Server) trackResponse(tenant, device, mode string, res *wivi.Result, windowMs float64) *TrackResponse {
 	if mode == "" {
 		mode = ModeTrack
 	}
 	out := &TrackResponse{
+		Tenant:      tenant,
 		Device:      device,
 		Mode:        mode,
 		WindowMs:    windowMs,
@@ -382,7 +479,7 @@ func (s *Server) trackResponse(device, mode string, res *wivi.Result, windowMs f
 // then one StreamEvent per line, flushed per frame so the client's
 // heatmap accrues live. Errors after the first byte become the terminal
 // "error" event — the only channel left once the status line is gone.
-func (s *Server) serveStream(w http.ResponseWriter, ctx context.Context, endpoint, device, mode string,
+func (s *Server) serveStream(w http.ResponseWriter, ctx context.Context, endpoint, tenant, device, mode string,
 	h handle, timedOut, clientGone func() bool) {
 	fs, err := h.Stream(ctx)
 	if err != nil {
@@ -442,7 +539,7 @@ func (s *Server) serveStream(w http.ResponseWriter, ctx context.Context, endpoin
 		}})
 		return
 	}
-	resp := s.trackResponse(device, mode, res, float64(fs.WindowDuration())/float64(time.Millisecond))
+	resp := s.trackResponse(tenant, device, mode, res, float64(fs.WindowDuration())/float64(time.Millisecond))
 	if resp.NumFrames == 0 {
 		resp.NumFrames = nframes
 	}
@@ -450,22 +547,76 @@ func (s *Server) serveStream(w http.ResponseWriter, ctx context.Context, endpoin
 	emit(StreamEvent{Type: EventResult, Result: resp})
 }
 
-// handleDevices serves GET /v1/devices.
+// queryTenant resolves the tenant of a GET endpoint: the ?tenant= query
+// parameter first, then the X-Wivi-Tenant header.
+func (s *Server) queryTenant(r *http.Request) (string, error) {
+	return s.resolveTenant(r, r.URL.Query().Get("tenant"))
+}
+
+// handleDevices serves GET /v1/devices. With a pool backend the
+// ?tenant= parameter (or header) selects whose registry to list; the
+// tenant's devices are built on first use, like on the submit path.
 func (s *Server) handleDevices(w http.ResponseWriter, r *http.Request) {
-	s.m.countRequest("/v1/devices", http.StatusOK)
+	const endpoint = "/v1/devices"
+	tenant, err := s.queryTenant(r)
+	if err != nil {
+		s.writeError(w, endpoint, http.StatusNotFound, CodeUnknownTenant, err.Error())
+		return
+	}
+	names := s.names
+	if s.cfg.Pool != nil {
+		var derr error
+		names, _, derr = s.cfg.Pool.Devices(tenant)
+		if derr != nil {
+			status, code := mapError(derr, false, false)
+			s.writeError(w, endpoint, status, code, fmt.Sprintf("resolving tenant devices: %v", derr))
+			return
+		}
+	}
+	s.m.countRequest(endpoint, http.StatusOK)
 	writeJSON(w, http.StatusOK, DevicesResponse{
-		Devices:      append([]string(nil), s.names...),
+		Tenant:       s.tenantLabel(tenant),
+		Devices:      append([]string(nil), names...),
 		MaxDurationS: s.cfg.MaxDurationS,
 	})
 }
 
-// handleStats serves GET /v1/stats.
+// handleStats serves GET /v1/stats. Engine-backed servers answer the PR
+// 9 layout unchanged. Pool-backed servers add the per-tenant pool
+// snapshot; the Engine field carries the default tenant's engine for
+// dashboard back-compat, and ?tenant= narrows both to one tenant.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	s.m.countRequest("/v1/stats", http.StatusOK)
-	writeJSON(w, http.StatusOK, StatsResponse{
-		Engine: s.cfg.Engine.Stats(),
-		Serve:  s.serveStats(),
-	})
+	const endpoint = "/v1/stats"
+	tenant, err := s.queryTenant(r)
+	if err != nil {
+		s.writeError(w, endpoint, http.StatusNotFound, CodeUnknownTenant, err.Error())
+		return
+	}
+	resp := StatsResponse{Serve: s.serveStats()}
+	if s.cfg.Pool == nil {
+		resp.Engine = s.cfg.Engine.Stats()
+	} else {
+		st := s.cfg.Pool.Stats()
+		focus := s.tenantLabel(tenant)
+		ts, ok := st.Tenants[focus]
+		if !ok {
+			s.writeError(w, endpoint, http.StatusNotFound, CodeUnknownTenant,
+				fmt.Sprintf("tenant %q is not provisioned", focus))
+			return
+		}
+		if tenant != "" {
+			// Narrowed view: only the named tenant's slice.
+			st.Tenants = map[string]pool.TenantStats{focus: ts}
+			st.ActiveEngines = 0
+			if ts.Active {
+				st.ActiveEngines = 1
+			}
+		}
+		resp.Engine = ts.Engine
+		resp.Pool = &st
+	}
+	s.m.countRequest(endpoint, http.StatusOK)
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleMetrics serves GET /metrics in Prometheus text format.

@@ -18,11 +18,20 @@ const (
 	ModeGesture = "gesture"
 )
 
+// HeaderTenant is the request header naming the tenant when the body
+// field is absent — the natural form for GETs and proxies that inject
+// tenancy. A body Tenant field wins over the header.
+const HeaderTenant = "X-Wivi-Tenant"
+
 // TrackRequest is the body of POST /v1/track.
 type TrackRequest struct {
-	// Device names the target device; empty selects the registry's
-	// lexicographically first device (deterministic, and the obvious
-	// choice for single-device deployments).
+	// Tenant routes the request to one tenant's engine pool; empty means
+	// the default tenant (single-tenant clients never set it). The
+	// X-Wivi-Tenant header is the fallback when this field is empty.
+	Tenant string `json:"tenant,omitempty"`
+	// Device names the target device; empty selects the tenant
+	// registry's lexicographically first device (deterministic, and the
+	// obvious choice for single-device deployments).
 	Device string `json:"device,omitempty"`
 	// Mode is "track" (default when empty) or "gesture".
 	Mode string `json:"mode,omitempty"`
@@ -41,6 +50,9 @@ type TrackRequest struct {
 // TrackResponse is the body of a successful batch POST /v1/track, and
 // the payload of the terminal "result" StreamEvent of a streamed one.
 type TrackResponse struct {
+	// Tenant names the tenant whose engine served the request (omitted
+	// by single-engine servers for wire back-compat).
+	Tenant string `json:"tenant,omitempty"`
 	// Device and Mode echo the resolved request.
 	Device string `json:"device"`
 	Mode   string `json:"mode"`
@@ -124,6 +136,16 @@ const (
 	// CodeCanceled: the request's capture was canceled, normally by the
 	// client disconnecting mid-stream.
 	CodeCanceled = "canceled"
+	// CodeTenantSaturated: the request's tenant is at its own
+	// queue/stream budget; no other tenant's capacity was touched. Back
+	// off and retry — other tenants are unaffected (HTTP 429).
+	CodeTenantSaturated = "tenant_saturated"
+	// CodeUnknownTenant: the named tenant is not provisioned on this
+	// server (HTTP 404).
+	CodeUnknownTenant = "unknown_tenant"
+	// CodeTenantDraining: the request's tenant is draining; its
+	// in-flight work finishes but new work is refused (HTTP 503).
+	CodeTenantDraining = "tenant_draining"
 	// CodeInternal: any other failure (HTTP 500).
 	CodeInternal = "internal"
 )
@@ -143,6 +165,9 @@ type ErrorResponse struct {
 // DevicesResponse is the body of GET /v1/devices: what a client (or
 // load generator) needs to know to form valid requests.
 type DevicesResponse struct {
+	// Tenant names the tenant whose registry this is (omitted by
+	// single-engine servers).
+	Tenant string `json:"tenant,omitempty"`
 	// Devices lists the registered device names, sorted.
 	Devices []string `json:"devices"`
 	// MaxDurationS is the server's per-request capture cap (0 = none).
